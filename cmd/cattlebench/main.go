@@ -1,0 +1,64 @@
+// Command cattlebench runs the beef-cattle ablation experiments:
+//
+//	cattlebench -ablation objects      # §4.3: meat cuts as actors vs object versions
+//	cattlebench -ablation constraints  # §4.4: txn vs registry vs workflow transfers
+//	cattlebench -ablation all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"aodb/internal/bench"
+)
+
+func main() {
+	ablation := flag.String("ablation", "all", "objects, constraints, or all")
+	cows := flag.Int("cows", 20, "cows per model in the objects ablation")
+	traces := flag.Int("traces", 25, "consumer traces per product")
+	transfers := flag.Int("transfers", 30, "ownership transfers per worker")
+	workers := flag.Int("workers", 4, "concurrent transfer workers")
+	flag.Parse()
+
+	ctx := context.Background()
+	if err := run(ctx, *ablation, *cows, *traces, *transfers, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "cattlebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, ablation string, cows, traces, transfers, workers int) error {
+	out := os.Stdout
+	runObjects := func() error {
+		results, err := bench.AblationCattleModels(ctx, cows, traces)
+		if err != nil {
+			return err
+		}
+		bench.PrintCattleModels(out, results)
+		return nil
+	}
+	runConstraints := func() error {
+		results, err := bench.AblationConstraints(ctx, transfers, workers)
+		if err != nil {
+			return err
+		}
+		bench.PrintConstraints(out, results)
+		return nil
+	}
+	switch ablation {
+	case "objects":
+		return runObjects()
+	case "constraints":
+		return runConstraints()
+	case "all":
+		if err := runObjects(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		return runConstraints()
+	default:
+		return fmt.Errorf("unknown ablation %q", ablation)
+	}
+}

@@ -1,0 +1,123 @@
+// Command shmbench regenerates the paper's evaluation figures for the
+// Structural Health Monitoring Data Platform against the simulated EC2
+// capacity model, plus the placement and durability ablations.
+//
+// Usage:
+//
+//	shmbench -fig 6              # single-server throughput sweep
+//	shmbench -fig 7 -scale 10    # scale-out, scaled 10x down for 1-core hosts
+//	shmbench -fig 8              # raw-data latency percentiles (also prints fig 9 data)
+//	shmbench -fig 9              # live-data latency percentiles
+//	shmbench -fig all            # everything
+//	shmbench -ablation placement # random vs prefer-local vs consistent-hash
+//	shmbench -ablation durability
+//
+// Each data point runs -duration (default 8s) with the first -warmup
+// (default duration/4) discarded, mirroring the paper's dropped first
+// minute.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aodb/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 9, or all")
+	ablation := flag.String("ablation", "", "ablation to run: placement, durability, or ingest")
+	duration := flag.Duration("duration", 8*time.Second, "measurement duration per data point")
+	warmup := flag.Duration("warmup", 0, "warmup to discard (default duration/4)")
+	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
+	flag.Parse()
+
+	if *fig == "" && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale}
+	ctx := context.Background()
+	if err := run(ctx, *fig, *ablation, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "shmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, fig, ablation string, opts bench.FigureOptions) error {
+	out := os.Stdout
+	switch fig {
+	case "":
+	case "6":
+		results, err := bench.Figure6(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure6(out, results)
+	case "7":
+		results, err := bench.Figure7(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure7(out, results)
+	case "8", "9":
+		results, err := bench.Figures8And9(ctx, opts)
+		if err != nil {
+			return err
+		}
+		if fig == "8" {
+			bench.PrintFigure8(out, results)
+		} else {
+			bench.PrintFigure9(out, results)
+		}
+	case "all":
+		r6, err := bench.Figure6(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure6(out, r6)
+		fmt.Fprintln(out)
+		r7, err := bench.Figure7(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure7(out, r7)
+		fmt.Fprintln(out)
+		r89, err := bench.Figures8And9(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintFigure8(out, r89)
+		fmt.Fprintln(out)
+		bench.PrintFigure9(out, r89)
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	switch ablation {
+	case "":
+	case "placement":
+		results, err := bench.AblationPlacement(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintPlacement(out, results)
+	case "durability":
+		results, err := bench.AblationDurability(ctx, opts)
+		if err != nil {
+			return err
+		}
+		bench.PrintDurability(out, results)
+	case "ingest":
+		results, err := bench.AblationIngest(ctx, 2000)
+		if err != nil {
+			return err
+		}
+		bench.PrintIngest(out, results)
+	default:
+		return fmt.Errorf("unknown ablation %q", ablation)
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+// Command shmload is the load client for shmserver clusters — the analog
+// of the paper's .NET benchmarking tool that "uses the Orleans framework
+// client directly". It populates the SHM actor database over TCP, offers
+// per-second sensor requests, optionally mixes in the 1%/1% live/raw user
+// queries, and prints throughput and latency percentiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"aodb/internal/bench"
+	"aodb/internal/cluster"
+	"aodb/internal/core"
+	"aodb/internal/placement"
+	"aodb/internal/shm"
+	"aodb/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "loadclient", "this client's transport name")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for responses")
+	silos := flag.String("silos", "silo-1", "comma-separated names of ALL silos (same order as servers)")
+	peers := flag.String("peers", "", "comma-separated name=addr pairs for the silos")
+	sensors := flag.Int("sensors", 50, "sensors to simulate")
+	duration := flag.Duration("duration", 10*time.Second, "run duration")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup to discard")
+	queries := flag.Bool("queries", true, "issue live/raw user queries per org")
+	flag.Parse()
+
+	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries); err != nil {
+		log.Fatalf("shmload: %v", err)
+	}
+}
+
+func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool) error {
+	tcp, err := transport.NewTCP(name, listen)
+	if err != nil {
+		return err
+	}
+	for _, pair := range strings.Split(peers, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		if n, addr, ok := strings.Cut(pair, "="); ok {
+			tcp.SetPeer(n, addr)
+		}
+	}
+	hash := placement.NewConsistentHash()
+	hash.PrefixSep = '@'
+	rt, err := core.New(core.Config{
+		Transport: tcp,
+		Placement: hash,
+		View:      cluster.NewStaticView(strings.Split(silos, ",")...),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	}()
+	// The client registers the same kinds so the runtime can route them;
+	// placement never selects the client, so no actor activates here.
+	platform, err := shm.NewPlatform(rt, shm.Options{})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	fmt.Printf("shmload: populating %d sensors across %d orgs...\n",
+		sensors, shm.DefaultPopulation(sensors).Orgs())
+	pop := shm.DefaultPopulation(sensors)
+	keys, err := platform.Populate(ctx, pop)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("shmload: driving %d req/s for %v (warmup %v)\n", sensors, duration, warmup)
+	rec := bench.NewRecorder()
+	err = bench.Drive(ctx, platform, bench.LoadSpec{
+		SensorKeys:       keys,
+		Orgs:             pop.Orgs(),
+		Channels:         pop.ChannelsPerSensor,
+		PointsPerChannel: 10,
+		RequestEvery:     time.Second,
+		UserQueries:      queries,
+		Warmup:           warmup,
+		Duration:         duration,
+	}, rec)
+	if err != nil {
+		return err
+	}
+
+	measured := (duration - warmup).Seconds()
+	fmt.Fprintf(os.Stdout, "\nresults over %.0fs:\n", measured)
+	fmt.Printf("  insert: %.0f req/s, %s\n",
+		float64(rec.Completed(bench.ReqInsert))/measured, rec.Latencies(bench.ReqInsert))
+	if queries {
+		fmt.Printf("  live:   %.1f req/s, %s\n",
+			float64(rec.Completed(bench.ReqLive))/measured, rec.Latencies(bench.ReqLive))
+		fmt.Printf("  raw:    %.1f req/s, %s\n",
+			float64(rec.Completed(bench.ReqRaw))/measured, rec.Latencies(bench.ReqRaw))
+	}
+	if rec.Errors() > 0 {
+		fmt.Printf("  errors: %d\n", rec.Errors())
+	}
+	return nil
+}

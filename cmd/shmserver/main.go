@@ -1,0 +1,114 @@
+// Command shmserver hosts one SHM silo over real TCP — the production
+// deployment shape the paper's Section 5 describes, with one silo process
+// per server. All silos (and the load client) share a static cluster view
+// and consistent-hash placement, so every process independently agrees on
+// where each actor lives without a shared directory service.
+//
+// A two-silo cluster on one machine:
+//
+//	shmserver -name silo-1 -listen 127.0.0.1:7001 \
+//	    -silos silo-1,silo-2 -peers silo-2=127.0.0.1:7002 &
+//	shmserver -name silo-2 -listen 127.0.0.1:7002 \
+//	    -silos silo-1,silo-2 -peers silo-1=127.0.0.1:7001 &
+//	shmload -silos silo-1,silo-2 \
+//	    -peers silo-1=127.0.0.1:7001,silo-2=127.0.0.1:7002 -sensors 50
+//
+// With -store DIR the silo persists actor state through the WAL-backed
+// kvstore and recovers it on restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aodb/internal/cluster"
+	"aodb/internal/core"
+	"aodb/internal/kvstore"
+	"aodb/internal/placement"
+	"aodb/internal/shm"
+	"aodb/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "silo-1", "this silo's cluster-unique name")
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	silos := flag.String("silos", "silo-1", "comma-separated names of ALL silos (identical on every node)")
+	peers := flag.String("peers", "", "comma-separated name=addr pairs for the other silos")
+	storeDir := flag.String("store", "", "durability directory (empty = in-memory)")
+	flag.Parse()
+
+	if err := run(*name, *listen, *silos, *peers, *storeDir); err != nil {
+		log.Fatalf("shmserver: %v", err)
+	}
+}
+
+func run(name, listen, silos, peers, storeDir string) error {
+	tcp, err := transport.NewTCP(name, listen)
+	if err != nil {
+		return err
+	}
+	for _, pair := range splitPairs(peers) {
+		tcp.SetPeer(pair[0], pair[1])
+	}
+
+	var store *kvstore.Store
+	if storeDir != "" {
+		store, err = kvstore.Open(kvstore.Options{Dir: storeDir})
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+	}
+
+	hash := placement.NewConsistentHash()
+	hash.PrefixSep = '@'
+	rt, err := core.New(core.Config{
+		Transport: tcp,
+		Placement: hash,
+		Store:     store,
+		View:      cluster.NewStaticView(strings.Split(silos, ",")...),
+	})
+	if err != nil {
+		return err
+	}
+	persist := core.PersistNone
+	if store != nil {
+		persist = core.PersistOnDeactivate
+	}
+	if _, err := shm.NewPlatform(rt, shm.Options{Persist: persist}); err != nil {
+		return err
+	}
+	if _, err := rt.AddSilo(name, nil); err != nil {
+		return err
+	}
+	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", name, tcp.Addr(), silos)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shmserver: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return rt.Shutdown(ctx)
+}
+
+func splitPairs(s string) [][2]string {
+	var out [][2]string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			out = append(out, [2]string{name, addr})
+		}
+	}
+	return out
+}

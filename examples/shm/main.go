@@ -1,0 +1,146 @@
+// Structural health monitoring end-to-end: a small bridge-monitoring
+// deployment on the SHM data platform (the paper's first case study).
+//
+// The example installs an organization with extension and inclination
+// sensors on two silos, streams a morning of readings (with a simulated
+// structural event), and then exercises every online query the platform
+// serves: live data, raw time ranges, accumulated change, statistical
+// aggregates, and threshold alerts.
+//
+//	go run ./examples/shm
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"aodb/internal/core"
+	"aodb/internal/shm"
+)
+
+func main() {
+	ctx := context.Background()
+	rt, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		defer cancel()
+		rt.Shutdown(shCtx)
+	}()
+	for _, silo := range []string{"silo-1", "silo-2"} {
+		if _, err := rt.AddSilo(silo, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	platform, err := shm.NewPlatform(rt, shm.Options{PreferLocal: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One organization monitoring the Great Belt Bridge, with two sensors:
+	// an extension sensor (with alert thresholds and a virtual channel
+	// summing its two channels) and an inclination sensor.
+	const org = "org-0"
+	if err := platform.CreateOrganization(ctx, org, "Bridge Operations A/S"); err != nil {
+		log.Fatal(err)
+	}
+	extension := shm.SensorKey(org, 0)
+	if err := platform.InstallSensor(ctx, shm.SensorSpec{
+		Org: org, Key: extension, PhysicalChannels: 2, WithVirtual: true,
+		Threshold: shm.Threshold{Min: -25, Max: 25, Enabled: true},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	inclination := shm.SensorKey(org, 1)
+	if err := platform.InstallSensor(ctx, shm.SensorSpec{
+		Org: org, Key: inclination, PhysicalChannels: 2,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream 2 hours of 10 Hz readings, one request per simulated second
+	// (compressed: we just submit them back-to-back). Midway, a simulated
+	// event pushes the extension beyond its alert threshold.
+	start := time.Date(2026, 7, 5, 6, 0, 0, 0, time.UTC)
+	fmt.Println("ingesting 2 simulated hours of sensor data...")
+	for sec := 0; sec < 7200; sec += 60 { // one request per simulated minute to keep the example quick
+		at := start.Add(time.Duration(sec) * time.Second)
+		phase := float64(sec) / 900
+		spike := 0.0
+		if sec == 3600 {
+			spike = 40 // the event: a gust pushes extension out of band
+		}
+		ext := packet(10, func(i int) float64 { return 10*math.Sin(phase) + spike + float64(i)*0.01 })
+		if err := platform.Ingest(ctx, extension, at, [][]float64{ext, packet(10, func(i int) float64 { return 5 * math.Cos(phase) })}); err != nil {
+			log.Fatal(err)
+		}
+		if err := platform.Ingest(ctx, inclination, at, [][]float64{
+			packet(10, func(i int) float64 { return 0.2 * math.Sin(phase/2) }),
+			packet(10, func(i int) float64 { return 0.1 * math.Cos(phase/2) }),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Asynchronous fan-out (channels, virtual channels, aggregators)
+	// settles quickly; give it a moment.
+	time.Sleep(200 * time.Millisecond)
+
+	fmt.Println("\n--- live data (most recent value per channel) ---")
+	live, err := platform.LiveData(ctx, org)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range live {
+		fmt.Printf("  %-28s %8.3f at %s\n", r.Channel, r.Point.Value, r.Point.At.Format(time.TimeOnly))
+	}
+
+	fmt.Println("\n--- raw time range (extension ch-0, minute around the event) ---")
+	pts, err := platform.RawData(ctx, shm.ChannelKey(extension, 0),
+		start.Add(59*time.Minute), start.Add(61*time.Minute))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d points; first %.2f, last %.2f\n", len(pts), pts[0].Value, pts[len(pts)-1].Value)
+
+	acc, err := platform.AccumulatedChange(ctx, shm.ChannelKey(extension, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- accumulated change on extension ch-0: %.2f ---\n", acc)
+
+	fmt.Println("\n--- hourly aggregates (all channels of the org) ---")
+	hours, err := platform.Aggregates(ctx, org, shm.LevelHour, "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, b := range hours {
+		fmt.Printf("  %s  n=%-5d mean=%8.3f min=%8.3f max=%8.3f\n",
+			b.Bucket.Format("15:04"), b.Count, b.Mean(), b.Min, b.Max)
+	}
+
+	fmt.Println("\n--- threshold alerts ---")
+	alerts, err := platform.Alerts(ctx, org, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		log.Fatal("expected alerts from the simulated event")
+	}
+	for _, a := range alerts {
+		fmt.Printf("  %s: %s (value %.2f)\n", a.At.Format(time.TimeOnly), a.Reason, a.Value)
+	}
+}
+
+// packet builds one 10-reading packet with values from f.
+func packet(n int, f func(i int) float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}

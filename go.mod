@@ -1,0 +1,3 @@
+module aodb
+
+go 1.22

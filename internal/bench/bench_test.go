@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"aodb/internal/capacity"
+	"aodb/internal/core"
+	"aodb/internal/shm"
+)
+
+func TestRequestTypeString(t *testing.T) {
+	if ReqInsert.String() != "insert" || ReqLive.String() != "live" || ReqRaw.String() != "raw" {
+		t.Fatal("request type names wrong")
+	}
+}
+
+func TestRecorderGatesOnMeasurementWindow(t *testing.T) {
+	rec := NewRecorder()
+	rec.Record(ReqInsert, time.Millisecond, nil)
+	if rec.Completed(ReqInsert) != 0 {
+		t.Fatal("recorded before StartMeasuring")
+	}
+	rec.StartMeasuring()
+	rec.Record(ReqInsert, time.Millisecond, nil)
+	rec.Record(ReqInsert, 2*time.Millisecond, errors.New("boom"))
+	rec.StopMeasuring()
+	rec.Record(ReqInsert, time.Millisecond, nil)
+	if rec.Completed(ReqInsert) != 1 {
+		t.Fatalf("completed = %d, want 1", rec.Completed(ReqInsert))
+	}
+	if rec.Errors() != 1 {
+		t.Fatalf("errors = %d, want 1", rec.Errors())
+	}
+	if rec.Latencies(ReqInsert).Count != 1 {
+		t.Fatal("latency histogram count wrong")
+	}
+}
+
+func TestCostModelCalibration(t *testing.T) {
+	// The whole evaluation hangs on this: one insert request must cost
+	// ~1.1 vCPU-ms so the m5.large saturates near 1,800 req/s.
+	cost := InsertRequestCost(1)
+	capacityRPS := capacity.M5Large.Capacity(cost)
+	if capacityRPS < 1700 || capacityRPS > 1950 {
+		t.Fatalf("m5.large insert capacity = %.0f req/s, want ~1800 (cost %v)", capacityRPS, cost)
+	}
+	xl := capacity.M5XLarge.Capacity(cost)
+	if ratio := xl / capacityRPS; ratio < 1.45 || ratio > 1.55 {
+		t.Fatalf("xlarge/large = %.2f, want 1.5", ratio)
+	}
+}
+
+func TestCostScalesLinearly(t *testing.T) {
+	c1 := SHMCost(1)
+	c10 := SHMCost(10)
+	id := core.ID{Kind: "Sensor", Key: "x"}
+	msg := shm.InsertBatch{}
+	if c10(id, msg) != 10*c1(id, msg) {
+		t.Fatal("scale not applied")
+	}
+	if got := InsertRequestCost(10); got != 10*InsertRequestCost(1) {
+		t.Fatalf("InsertRequestCost(10) = %v", got)
+	}
+	// Unknown messages are free (setup traffic).
+	if c1(id, struct{}{}) != 0 {
+		t.Fatal("unknown message charged")
+	}
+}
+
+func TestPlacementForRejectsUnknown(t *testing.T) {
+	if _, err := placementFor("bogus", 1); err == nil {
+		t.Fatal("bogus placement accepted")
+	}
+	for _, name := range []string{"hash", "random", "prefer-local"} {
+		if _, err := placementFor(name, 1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := SHMConfig{}
+	if err := cfg.fill(); err == nil {
+		t.Fatal("zero-sensor config accepted")
+	}
+	cfg = SHMConfig{Sensors: 100}
+	if err := cfg.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Silos != 1 || cfg.Scale != 1 || cfg.Placement != "hash" || cfg.Profile.Name != "m5.large" {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+// TestRunSHMBelowSaturation checks that offered load below capacity is
+// sustained (throughput ~= offered) and latencies stay low.
+func TestRunSHMBelowSaturation(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("calibrated load test (skipped under -short and -race)")
+	}
+	res, err := RunSHM(context.Background(), SHMConfig{
+		Sensors:  400, // ~22% of m5.large capacity
+		Silos:    1,
+		Profile:  capacity.M5Large,
+		Duration: 5 * time.Second,
+		Warmup:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.ThroughputRPS < 0.85*res.OfferedRPS {
+		t.Fatalf("throughput %.0f of offered %.0f: under-delivery below saturation",
+			res.ThroughputRPS, res.OfferedRPS)
+	}
+	if p99 := res.Insert.PercentileDuration(99); p99 > 500*time.Millisecond {
+		t.Fatalf("insert p99 = %v below saturation", p99)
+	}
+}
+
+// TestRunSHMSaturates checks the Figure 6 shape: offered load far above
+// the m5.large limit yields throughput pinned near capacity.
+func TestRunSHMSaturates(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("calibrated load test (skipped under -short and -race)")
+	}
+	res, err := RunSHM(context.Background(), SHMConfig{
+		Sensors:  2600,
+		Silos:    1,
+		Profile:  capacity.M5Large,
+		Scale:    2, // 1300 sensors, 2x cost: capacity ~900 scaled
+		Duration: 6 * time.Second,
+		Warmup:   2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The modeled capacity is approximate on loaded hosts (timer overshoot
+	// is credit-compensated, and sensor turns can transiently outpace the
+	// trailing channel turns), so assert the plateau within 25%.
+	modeled := capacity.M5Large.Capacity(InsertRequestCost(res.Config.Scale))
+	if res.ThroughputRPS > 1.25*modeled {
+		t.Fatalf("throughput %.0f far exceeds modeled capacity %.0f: limiter leak", res.ThroughputRPS, modeled)
+	}
+	if res.ThroughputRPS < 0.75*modeled {
+		t.Fatalf("throughput %.0f well under capacity %.0f: saturation plateau missing", res.ThroughputRPS, modeled)
+	}
+	// And far below the offered load: the plateau, not linear growth.
+	if res.ThroughputRPS > 0.95*res.OfferedRPS {
+		t.Fatalf("throughput %.0f tracks offered %.0f beyond capacity: no saturation", res.ThroughputRPS, res.OfferedRPS)
+	}
+}
+
+func TestUserQueriesProduceLatencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load test")
+	}
+	res, err := RunSHM(context.Background(), SHMConfig{
+		Sensors:     200,
+		Silos:       1,
+		Profile:     capacity.M5XLarge,
+		Duration:    5 * time.Second,
+		Warmup:      time.Second,
+		UserQueries: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Live.Count == 0 {
+		t.Fatal("no live-data requests measured")
+	}
+	if res.Raw.Count == 0 {
+		t.Fatal("no raw-data requests measured")
+	}
+}
+
+func TestAblationCattleModelsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	results, err := AblationCattleModels(context.Background(), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	actor, object := results[0], results[1]
+	// The §4.3 claim: the object model cuts communication for reads.
+	if object.HopsPer >= actor.HopsPer {
+		t.Fatalf("object hops %.1f >= actor hops %.1f", object.HopsPer, actor.HopsPer)
+	}
+	if object.TurnsTotal >= actor.TurnsTotal {
+		t.Fatalf("object turns %d >= actor turns %d", object.TurnsTotal, actor.TurnsTotal)
+	}
+}
+
+func TestAblationConstraintsConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	results, err := AblationConstraints(context.Background(), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Violations != 0 {
+			t.Errorf("mode %s left %d violations", r.Mode, r.Violations)
+		}
+		if r.Transfers == 0 {
+			t.Errorf("mode %s completed no transfers", r.Mode)
+		}
+	}
+}
+
+func TestAblationIngestPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	results, err := AblationIngest(context.Background(), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	byName := map[string]IngestResult{}
+	for _, r := range results {
+		byName[r.Policy] = r
+	}
+	rej, drop, block := byName["reject"], byName["drop-oldest"], byName["block"]
+	if rej.Rejected == 0 {
+		t.Fatal("reject policy never rejected under burst")
+	}
+	if drop.Dropped == 0 || drop.Accepted != int64(drop.Burst) {
+		t.Fatalf("drop-oldest: %+v", drop)
+	}
+	if block.Drained != int64(block.Burst) {
+		t.Fatalf("block policy lost items: %+v", block)
+	}
+	// Blocking trades producer latency for completeness.
+	if block.BurstTime <= rej.BurstTime {
+		t.Fatalf("block submit time %v <= reject %v", block.BurstTime, rej.BurstTime)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	var sb strings.Builder
+	PrintFigure6(&sb, []SHMResult{{Config: SHMConfig{Scale: 1}, Sensors: 100, OfferedRPS: 100, ThroughputRPS: 99}})
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Fatal("figure 6 header missing")
+	}
+	sb.Reset()
+	PrintConstraints(&sb, []ConstraintResult{{Mode: "txn", Transfers: 10}})
+	if !strings.Contains(sb.String(), "txn") {
+		t.Fatal("constraint row missing")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; calibrated load
+// tests skip themselves because race instrumentation slows the host far
+// below the simulated capacity model.
+const raceEnabled = true

@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"aodb/internal/capacity"
+	"aodb/internal/core"
+	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
+	"aodb/internal/netsim"
+	"aodb/internal/placement"
+	"aodb/internal/shm"
+	"aodb/internal/transport"
+)
+
+// SHMConfig describes one SHM benchmark run.
+type SHMConfig struct {
+	// Sensors is the population size at Scale 1 (divided by Scale).
+	Sensors int
+	// Silos and their simulated instance profile.
+	Silos   int
+	Profile capacity.Profile
+	// Scale trades population for per-turn cost; see package docs.
+	Scale int
+	// Duration and Warmup of the run (wall clock).
+	Duration time.Duration
+	Warmup   time.Duration
+	// UserQueries adds the 1 live + 1 raw query per org per second.
+	UserQueries bool
+	// Placement: "hash" (default, org co-location), "random",
+	// "prefer-local".
+	Placement string
+	// Network applies the SameAZ latency model between silos.
+	Network bool
+	// Store, when non-nil, enables grain persistence (ablation D);
+	// WriteEveryBatch selects the per-request write policy.
+	Store           *kvstore.Store
+	WriteEveryBatch bool
+	Seed            int64
+}
+
+// SHMResult is one experiment data point.
+type SHMResult struct {
+	Config     SHMConfig
+	Sensors    int // effective (scaled) population
+	Orgs       int
+	OfferedRPS float64
+	// ThroughputRPS is completed insert requests per measured second.
+	ThroughputRPS float64
+	Insert        metrics.Snapshot
+	Live          metrics.Snapshot
+	Raw           metrics.Snapshot
+	Errors        int64
+	LocalCalls    int64
+	RemoteCalls   int64
+	Activations   int
+}
+
+func (c *SHMConfig) fill() error {
+	if c.Sensors <= 0 {
+		return fmt.Errorf("bench: config needs sensors")
+	}
+	if c.Silos <= 0 {
+		c.Silos = 1
+	}
+	if c.Profile.Workers == 0 {
+		c.Profile = capacity.M5Large
+	}
+	if c.Scale < 1 {
+		c.Scale = 1
+	}
+	if c.Duration <= 0 {
+		c.Duration = 8 * time.Second
+	}
+	if c.Warmup <= 0 || c.Warmup >= c.Duration {
+		c.Warmup = c.Duration / 4
+	}
+	if c.Placement == "" {
+		c.Placement = "hash"
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return nil
+}
+
+func placementFor(name string, seed int64) (placement.Strategy, error) {
+	switch name {
+	case "hash":
+		ch := placement.NewConsistentHash()
+		ch.PrefixSep = '@'
+		return ch, nil
+	case "random":
+		return placement.NewRandom(seed), nil
+	case "prefer-local":
+		return placement.NewPreferLocal(seed), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown placement %q", name)
+	}
+}
+
+// RunSHM executes one SHM experiment and returns its data point.
+func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
+	if err := cfg.fill(); err != nil {
+		return SHMResult{}, err
+	}
+	strat, err := placementFor(cfg.Placement, cfg.Seed)
+	if err != nil {
+		return SHMResult{}, err
+	}
+	var model *netsim.Model
+	if cfg.Network && cfg.Silos > 1 {
+		model = netsim.NewModel(cfg.Seed, netsim.Loopback, netsim.SameAZ)
+	}
+	local := transport.NewLocal(model, nil)
+	rt, err := core.New(core.Config{
+		Transport: local,
+		Placement: strat,
+		Cost:      SHMCost(cfg.Scale),
+		Store:     cfg.Store,
+		// Collection off during the run: the paper's experiments hold all
+		// grains hot in memory.
+		IdleAfter:    time.Hour,
+		CollectEvery: time.Hour,
+	})
+	if err != nil {
+		return SHMResult{}, err
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = rt.Shutdown(shCtx)
+	}()
+	for i := 1; i <= cfg.Silos; i++ {
+		limiter := capacity.NewLimiter(cfg.Profile, nil)
+		if _, err := rt.AddSilo(fmt.Sprintf("silo-%d", i), limiter); err != nil {
+			return SHMResult{}, err
+		}
+	}
+	persist := core.PersistNone
+	if cfg.Store != nil {
+		persist = core.PersistOnDeactivate
+	}
+	platform, err := shm.NewPlatform(rt, shm.Options{Persist: persist})
+	if err != nil {
+		return SHMResult{}, err
+	}
+
+	sensors := cfg.Sensors / cfg.Scale
+	if sensors < 1 {
+		sensors = 1
+	}
+	pop := shm.DefaultPopulation(sensors)
+	pop.SensorsPerOrg = 100 / cfg.Scale
+	if pop.SensorsPerOrg < 1 {
+		pop.SensorsPerOrg = 1
+	}
+	pop.WriteEveryBatch = cfg.WriteEveryBatch
+	keys, err := platform.Populate(ctx, pop)
+	if err != nil {
+		return SHMResult{}, err
+	}
+
+	rec := NewRecorder()
+	spec := LoadSpec{
+		SensorKeys:       keys,
+		Orgs:             pop.Orgs(),
+		Channels:         pop.ChannelsPerSensor,
+		PointsPerChannel: 10,
+		RequestEvery:     time.Second,
+		UserQueries:      cfg.UserQueries,
+		Warmup:           cfg.Warmup,
+		Duration:         cfg.Duration,
+		Seed:             cfg.Seed,
+	}
+	if spec.Channels <= 0 {
+		spec.Channels = 2
+	}
+	if err := Drive(ctx, platform, spec, rec); err != nil {
+		return SHMResult{}, err
+	}
+
+	measured := (cfg.Duration - cfg.Warmup).Seconds()
+	localCalls, remoteCalls := local.Stats()
+	activations := 0
+	for i := 1; i <= cfg.Silos; i++ {
+		if s, ok := rt.Silo(fmt.Sprintf("silo-%d", i)); ok {
+			activations += s.Activations()
+		}
+	}
+	return SHMResult{
+		Config:        cfg,
+		Sensors:       sensors,
+		Orgs:          pop.Orgs(),
+		OfferedRPS:    float64(sensors),
+		ThroughputRPS: float64(rec.Completed(ReqInsert)) / measured,
+		Insert:        rec.Latencies(ReqInsert),
+		Live:          rec.Latencies(ReqLive),
+		Raw:           rec.Latencies(ReqRaw),
+		Errors:        rec.Errors(),
+		LocalCalls:    localCalls,
+		RemoteCalls:   remoteCalls,
+		Activations:   activations,
+	}, nil
+}
+
+// FigureOptions tune how long each data point runs.
+type FigureOptions struct {
+	Duration time.Duration
+	Warmup   time.Duration
+	// Scale for throughput-only figures on small hosts (see package doc).
+	Scale int
+}
+
+func (o *FigureOptions) fill() {
+	if o.Duration <= 0 {
+		o.Duration = 8 * time.Second
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Duration / 4
+	}
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+}
+
+// Figure6 reproduces the single-server throughput experiment: one
+// m5.large silo, sweeping the sensor count through and beyond saturation
+// (~1,800 req/s in the paper).
+func Figure6(ctx context.Context, opts FigureOptions) ([]SHMResult, error) {
+	opts.fill()
+	sweep := []int{400, 800, 1200, 1600, 1800, 2000, 2400}
+	var out []SHMResult
+	for _, sensors := range sweep {
+		res, err := RunSHM(ctx, SHMConfig{
+			Sensors:  sensors,
+			Silos:    1,
+			Profile:  capacity.M5Large,
+			Scale:    opts.Scale,
+			Duration: opts.Duration,
+			Warmup:   opts.Warmup,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: figure 6 at %d sensors: %w", sensors, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure7 reproduces the scale-out experiment: scale factor 1..8, one
+// m5.xlarge silo and 2,100 sensors per factor, expecting near-linear
+// throughput growth.
+func Figure7(ctx context.Context, opts FigureOptions) ([]SHMResult, error) {
+	opts.fill()
+	var out []SHMResult
+	for sf := 1; sf <= 8; sf++ {
+		res, err := RunSHM(ctx, SHMConfig{
+			Sensors:  2100 * sf,
+			Silos:    sf,
+			Profile:  capacity.M5XLarge,
+			Scale:    opts.Scale,
+			Duration: opts.Duration,
+			Warmup:   opts.Warmup,
+			Network:  true,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: figure 7 at sf=%d: %w", sf, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figures8And9 reproduce the latency-percentile experiments: one
+// m5.xlarge silo, 98/1/1 insert/live/raw mix, sweeping sensors toward the
+// 80%-utilization point (2,000 sensors). Figure 8 reads the Raw
+// snapshots; Figure 9 the Live snapshots.
+func Figures8And9(ctx context.Context, opts FigureOptions) ([]SHMResult, error) {
+	opts.fill()
+	sweep := []int{500, 1000, 1500, 2000}
+	var out []SHMResult
+	for _, sensors := range sweep {
+		res, err := RunSHM(ctx, SHMConfig{
+			Sensors:     sensors,
+			Silos:       1,
+			Profile:     capacity.M5XLarge,
+			Scale:       opts.Scale,
+			Duration:    opts.Duration,
+			Warmup:      opts.Warmup,
+			UserQueries: true,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bench: figures 8/9 at %d sensors: %w", sensors, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

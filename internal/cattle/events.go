@@ -1,0 +1,192 @@
+package cattle
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"aodb/internal/codec"
+	"aodb/internal/core"
+)
+
+// The paper's §2.2 assumes participants adopt GS1, the global supply-
+// chain message standard, so tracking/tracing interoperates across
+// organizations. This file implements an EPCIS-flavoured event log:
+// every supply-chain step emits an event naming the EPCs (entity codes)
+// involved, and each EPC's event history lives in its own virtual actor.
+// A chain-of-custody query is then a read of one actor's log — the
+// GS1-standard complement to the object-graph traces in platform.go.
+
+// KindEventLog is the per-EPC event log actor kind.
+const KindEventLog = "EventLog"
+
+// EventType follows EPCIS event classes.
+type EventType string
+
+// Event types.
+const (
+	// ObjectEvent: something happened to one or more objects (observe,
+	// commission, ship, receive).
+	ObjectEvent EventType = "object"
+	// AggregationEvent: objects were grouped into a parent (cuts into a
+	// retail product).
+	AggregationEvent EventType = "aggregation"
+	// TransformationEvent: inputs were consumed to produce outputs (a
+	// cow into meat cuts).
+	TransformationEvent EventType = "transformation"
+)
+
+// Business steps (EPCIS bizStep vocabulary, trimmed to this domain).
+const (
+	StepCommissioning = "commissioning"
+	StepSlaughtering  = "slaughtering"
+	StepShipping      = "shipping"
+	StepReceiving     = "receiving"
+	StepRetailSelling = "retail_selling"
+)
+
+// Event is one EPCIS-style supply-chain event.
+type Event struct {
+	Type    EventType
+	Step    string
+	EPCs    []string // objects this event is about
+	Parent  string   // aggregation parent, if any
+	Inputs  []string // transformation inputs
+	Outputs []string // transformation outputs
+	Where   string   // responsible party (actor key)
+	At      time.Time
+}
+
+// Messages for event log actors.
+type (
+	// RecordEvent appends an event to this EPC's log.
+	RecordEvent struct{ Event Event }
+	// GetEvents returns the EPC's events in recording order.
+	GetEvents struct{}
+)
+
+type eventLogActor struct {
+	state eventLogState
+}
+
+type eventLogState struct {
+	Events []Event
+}
+
+func (e *eventLogActor) State() any { return &e.state }
+
+func (e *eventLogActor) Receive(_ *core.Context, msg any) (any, error) {
+	switch m := msg.(type) {
+	case RecordEvent:
+		e.state.Events = append(e.state.Events, m.Event)
+		return len(e.state.Events), nil
+	case GetEvents:
+		return append([]Event(nil), e.state.Events...), nil
+	default:
+		return nil, fmt.Errorf("cattle: EventLog: unknown message %T", msg)
+	}
+}
+
+func init() {
+	codec.Register(Event{})
+	codec.Register(RecordEvent{})
+	codec.Register(GetEvents{})
+	codec.Register([]Event{})
+}
+
+// recordEvent fans an event out to the log of every EPC it mentions
+// (including transformation inputs/outputs), from inside an actor turn.
+func recordEvent(ctx *core.Context, ev Event) error {
+	seen := map[string]bool{}
+	targets := make([]string, 0, len(ev.EPCs)+len(ev.Inputs)+len(ev.Outputs))
+	for _, group := range [][]string{ev.EPCs, ev.Inputs, ev.Outputs} {
+		for _, epc := range group {
+			if epc != "" && !seen[epc] {
+				seen[epc] = true
+				targets = append(targets, epc)
+			}
+		}
+	}
+	for _, epc := range targets {
+		if err := ctx.Tell(core.ID{Kind: KindEventLog, Key: epc}, RecordEvent{Event: ev}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Events returns the recorded EPCIS events for one EPC (cow, cut, or
+// product key), oldest first. Requires Options.RecordEvents.
+func (p *Platform) Events(ctx context.Context, epc string) ([]Event, error) {
+	v, err := p.rt.Call(ctx, core.ID{Kind: KindEventLog, Key: epc}, GetEvents{})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]Event), nil
+}
+
+// ChainOfCustody assembles the full event history of a product: its own
+// events plus those of every cut and cow it descends from, ordered by
+// timestamp. This is the GS1-style consumer trace.
+func (p *Platform) ChainOfCustody(ctx context.Context, product string) ([]Event, error) {
+	own, err := p.Events(ctx, product)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]Event(nil), own...)
+	seen := map[string]bool{product: true}
+	// Follow aggregation/transformation edges backwards.
+	frontier := []Event(own)
+	for len(frontier) > 0 {
+		var next []Event
+		for _, ev := range frontier {
+			for _, group := range [][]string{ev.Inputs, ev.EPCs} {
+				for _, epc := range group {
+					if epc == "" || seen[epc] {
+						continue
+					}
+					seen[epc] = true
+					hist, err := p.Events(ctx, epc)
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, hist...)
+					next = append(next, hist...)
+				}
+			}
+		}
+		frontier = next
+	}
+	sortEventsByTime(out)
+	return dedupeEvents(out), nil
+}
+
+func sortEventsByTime(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Before(evs[j].At) })
+}
+
+// dedupeEvents removes events recorded on several logs (one per EPC).
+func dedupeEvents(evs []Event) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		dup := false
+		for _, kept := range out {
+			if sameEvent(kept, ev) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func sameEvent(a, b Event) bool {
+	if a.Type != b.Type || a.Step != b.Step || a.Where != b.Where || !a.At.Equal(b.At) {
+		return false
+	}
+	return fmt.Sprint(a.EPCs, a.Parent, a.Inputs, a.Outputs) == fmt.Sprint(b.EPCs, b.Parent, b.Inputs, b.Outputs)
+}

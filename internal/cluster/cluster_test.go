@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"aodb/internal/kvstore"
+	"aodb/internal/systemstore"
+)
+
+func newSystemStore(t *testing.T) *systemstore.Store {
+	t.Helper()
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { kv.Close() })
+	s, err := systemstore.New(kv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fastConfig(name string) Config {
+	return Config{
+		Name:           name,
+		Address:        name + ":0",
+		HeartbeatEvery: 10 * time.Millisecond,
+		SuspectAfter:   40 * time.Millisecond,
+		DeadAfter:      120 * time.Millisecond,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	store := newSystemStore(t)
+	if _, err := New(Config{}, store); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := New(Config{Name: "s", SuspectAfter: time.Minute, DeadAfter: time.Second}, store); err == nil {
+		t.Fatal("DeadAfter < SuspectAfter accepted")
+	}
+}
+
+func TestJoinPublishesActiveView(t *testing.T) {
+	store := newSystemStore(t)
+	ctx := context.Background()
+	var members []*Membership
+	for _, name := range []string{"silo-1", "silo-2", "silo-3"} {
+		m, err := New(fastConfig(name), store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Join(ctx); err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+	}
+	defer func() {
+		for _, m := range members {
+			m.Leave(ctx)
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		view := members[0].View()
+		if len(view) == 3 && view[0] == "silo-1" && view[1] == "silo-2" && view[2] == "silo-3" {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view never converged: %v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDoubleJoinRejected(t *testing.T) {
+	store := newSystemStore(t)
+	ctx := context.Background()
+	m, err := New(fastConfig("s"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Leave(ctx)
+	if err := m.Join(ctx); err == nil {
+		t.Fatal("second Join accepted")
+	}
+}
+
+func TestLeaveMarksDead(t *testing.T) {
+	store := newSystemStore(t)
+	ctx := context.Background()
+	m, err := New(fastConfig("s"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e, err := store.Member(ctx, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Status != systemstore.StatusDead {
+		t.Fatalf("status after leave = %q, want dead", e.Status)
+	}
+	// Leave is idempotent.
+	if err := m.Leave(ctx); err != nil {
+		t.Fatalf("second Leave: %v", err)
+	}
+}
+
+func TestFailureDetectorDeclaresSilentPeerDead(t *testing.T) {
+	store := newSystemStore(t)
+	ctx := context.Background()
+	watcher, err := New(fastConfig("watcher"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := watcher.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer watcher.Leave(ctx)
+	// A peer that announced but never heartbeats (crashed silo).
+	if _, err := store.Announce(ctx, systemstore.SiloEntry{
+		Name: "zombie", Address: "z:0", Status: systemstore.StatusActive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	sawSuspect := false
+	for {
+		e, err := store.Member(ctx, "zombie")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Status == systemstore.StatusSuspect {
+			sawSuspect = true
+		}
+		if e.Status == systemstore.StatusDead {
+			if !sawSuspect {
+				t.Log("zombie went straight to dead (suspect window missed under load); acceptable")
+			}
+			// And the watcher's view must exclude it.
+			for _, v := range watcher.View() {
+				if v == "zombie" {
+					t.Fatal("dead silo still in view")
+				}
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("zombie never declared dead (status %q)", e.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubscribersSeeStatusTransitions(t *testing.T) {
+	store := newSystemStore(t)
+	ctx := context.Background()
+	m, err := New(fastConfig("observer"), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	events := map[string][]systemstore.SiloStatus{}
+	m.Subscribe(func(ev Event) {
+		mu.Lock()
+		events[ev.Silo] = append(events[ev.Silo], ev.Status)
+		mu.Unlock()
+	})
+	if err := m.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Leave(ctx)
+	if _, err := store.Announce(ctx, systemstore.SiloEntry{
+		Name: "peer", Address: "p:0", Status: systemstore.StatusActive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		hist := append([]systemstore.SiloStatus(nil), events["peer"]...)
+		mu.Unlock()
+		if len(hist) > 0 && hist[len(hist)-1] == systemstore.StatusDead {
+			if hist[0] != systemstore.StatusActive {
+				t.Fatalf("first observed status = %q, want active (history %v)", hist[0], hist)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw peer die; history %v", hist)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestStaticView(t *testing.T) {
+	v := NewStaticView("b", "a", "c")
+	got := v.View()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("View = %v", got)
+	}
+	got[0] = "mutated"
+	if v.View()[0] != "a" {
+		t.Fatal("View exposed internal slice")
+	}
+}

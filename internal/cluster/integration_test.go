@@ -1,0 +1,166 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aodb/internal/cluster"
+	"aodb/internal/core"
+	"aodb/internal/kvstore"
+	"aodb/internal/systemstore"
+)
+
+// TestMembershipDrivenRuntime wires the heartbeat-based membership
+// service into a runtime as its placement view: new actors only place on
+// silos the failure detector considers alive, and a dead silo's directory
+// registrations are evicted by the membership event stream so its actors
+// fail over. This is the full control loop a production deployment uses.
+func TestMembershipDrivenRuntime(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	sys, err := systemstore.New(kv, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Two silos join the cluster with fast failure detection.
+	cfg := func(name string) cluster.Config {
+		return cluster.Config{
+			Name:           name,
+			Address:        name + ":0",
+			HeartbeatEvery: 15 * time.Millisecond,
+			SuspectAfter:   60 * time.Millisecond,
+			DeadAfter:      150 * time.Millisecond,
+		}
+	}
+	m1, err := cluster.New(cfg("silo-1"), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := cluster.New(cfg("silo-2"), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Leave(ctx)
+	if err := m2.Join(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Runtime with a persistent store; membership m1 provides the view.
+	rt, err := core.New(core.Config{Store: kv, View: m1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		rt.Shutdown(shCtx)
+	}()
+	rt.RegisterKind("KV", func() core.Actor { return &kvActor{} },
+		core.WithPersistence(core.PersistExplicit))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	// Membership death events evict the dead silo's directory entries.
+	m1.Subscribe(func(ev cluster.Event) {
+		if ev.Status == systemstore.StatusDead {
+			rt.Directory().EvictSilo(ev.Silo)
+		}
+	})
+
+	// Wait until both silos are in the active view.
+	waitFor(t, 3*time.Second, func() bool { return len(m1.View()) == 2 })
+
+	// Spread actors; persist their state.
+	for i := 0; i < 40; i++ {
+		id := core.ID{Kind: "KV", Key: fmt.Sprintf("k%d", i)}
+		if _, err := rt.Call(ctx, id, setVal{V: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bySilo := rt.Directory().CountBySilo()
+	if bySilo["silo-1"] == 0 || bySilo["silo-2"] == 0 {
+		t.Fatalf("placement did not use both silos: %v", bySilo)
+	}
+
+	// silo-2's process "crashes": heartbeats stop (Leave marks it dead
+	// via the store, simulating the detector's eventual verdict).
+	if err := m2.Leave(ctx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, func() bool {
+		v := m1.View()
+		return len(v) == 1 && v[0] == "silo-1"
+	})
+	// Eviction of silo-2's registrations happens via the subscription.
+	waitFor(t, 3*time.Second, func() bool {
+		return rt.Directory().CountBySilo()["silo-2"] == 0
+	})
+
+	// Every actor remains reachable; survivors keep their activations,
+	// silo-2's actors re-activate on silo-1 with persisted state.
+	for i := 0; i < 40; i++ {
+		id := core.ID{Kind: "KV", Key: fmt.Sprintf("k%d", i)}
+		v, err := rt.Call(ctx, id, getVal{})
+		if err != nil {
+			t.Fatalf("actor %d after silo death: %v", i, err)
+		}
+		if v.(int) != i {
+			t.Fatalf("actor %d state = %v after failover", i, v)
+		}
+		reg, ok := rt.Directory().Lookup(id.String())
+		if !ok || reg.Silo != "silo-1" && reg.Silo != "silo-2" {
+			t.Fatalf("actor %d registration = %+v", i, reg)
+		}
+	}
+	// New placements go only to the surviving silo.
+	for i := 100; i < 110; i++ {
+		id := core.ID{Kind: "KV", Key: fmt.Sprintf("k%d", i)}
+		if _, err := rt.Call(ctx, id, setVal{V: i}); err != nil {
+			t.Fatal(err)
+		}
+		reg, _ := rt.Directory().Lookup(id.String())
+		if reg.Silo != "silo-1" {
+			t.Fatalf("new actor placed on dead silo: %+v", reg)
+		}
+	}
+}
+
+type kvActor struct {
+	state struct{ V int }
+}
+
+type setVal struct{ V int }
+type getVal struct{}
+
+func (a *kvActor) State() any { return &a.state }
+
+func (a *kvActor) Receive(ctx *core.Context, msg any) (any, error) {
+	switch m := msg.(type) {
+	case setVal:
+		a.state.V = m.V
+		return nil, ctx.WriteState()
+	case getVal:
+		return a.state.V, nil
+	}
+	return nil, fmt.Errorf("unknown %T", msg)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

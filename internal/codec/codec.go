@@ -1,0 +1,76 @@
+// Package codec handles wire encoding for cross-silo messages.
+//
+// Messages are Go values encoded with encoding/gob. Gob needs concrete
+// types registered before they travel inside interface fields, so every
+// message type an application sends between actors registers itself here
+// (typically from an init function in the package that declares it).
+// The Stream type pairs a gob encoder/decoder over one connection and
+// serializes concurrent writers.
+package codec
+
+import (
+	"encoding/gob"
+	"io"
+	"sync"
+)
+
+// Register makes a concrete message type transmissible inside interface
+// fields. It is safe to call from init functions. Registering the same
+// type twice is harmless; registering two distinct types under one name
+// panics, surfacing the conflict at startup rather than mid-call.
+func Register(v any) {
+	gob.Register(v)
+}
+
+// FrameKind distinguishes the message classes on a connection.
+type FrameKind byte
+
+// Frame kinds.
+const (
+	FrameRequest FrameKind = iota + 1
+	FrameOneWay
+	FrameResponse
+	FrameError
+)
+
+// Frame is the unit of exchange on a transport connection.
+type Frame struct {
+	ID         uint64 // correlation id; responses echo the request's
+	Kind       FrameKind
+	TargetKind string
+	TargetKey  string
+	Method     string
+	Sender     string
+	Chain      []string // synchronous call chain, for cycle detection
+	Payload    any
+	Err        string // set when Kind == FrameError
+}
+
+// Stream frames gob values over an io.ReadWriter. Writes are serialized;
+// reads must be performed by a single goroutine.
+type Stream struct {
+	wmu sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewStream wraps rw in a frame stream.
+func NewStream(rw io.ReadWriter) *Stream {
+	return &Stream{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw)}
+}
+
+// Write encodes one frame.
+func (s *Stream) Write(f *Frame) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return s.enc.Encode(f)
+}
+
+// Read decodes the next frame.
+func (s *Stream) Read() (*Frame, error) {
+	var f Frame
+	if err := s.dec.Decode(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

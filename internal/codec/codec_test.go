@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+type ping struct{ Seq int }
+type pong struct{ Seq int }
+
+func init() {
+	Register(ping{})
+	Register(pong{})
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	in := &Frame{
+		ID:         7,
+		Kind:       FrameRequest,
+		TargetKind: "Cow",
+		TargetKey:  "42",
+		Method:     "GetLocation",
+		Sender:     "silo-1",
+		Payload:    ping{Seq: 3},
+	}
+	if err := s.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Kind != FrameRequest || out.TargetKind != "Cow" ||
+		out.TargetKey != "42" || out.Method != "GetLocation" || out.Sender != "silo-1" {
+		t.Fatalf("frame = %+v", out)
+	}
+	if p, ok := out.Payload.(ping); !ok || p.Seq != 3 {
+		t.Fatalf("payload = %#v", out.Payload)
+	}
+}
+
+func TestErrorFrame(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	if err := s.Write(&Frame{ID: 1, Kind: FrameError, Err: "kaput"}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != FrameError || out.Err != "kaput" {
+		t.Fatalf("frame = %+v", out)
+	}
+}
+
+func TestMultipleFramesInOrder(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	for i := 0; i < 10; i++ {
+		if err := s.Write(&Frame{ID: uint64(i), Kind: FrameOneWay, Payload: ping{Seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f, err := s.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint64(i) || f.Payload.(ping).Seq != i {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+	if _, err := s.Read(); err != io.EOF {
+		t.Fatalf("read past end = %v, want EOF", err)
+	}
+}
+
+func TestConcurrentWritersDoNotInterleave(t *testing.T) {
+	r, w := io.Pipe()
+	writer := NewStream(struct {
+		io.Reader
+		io.Writer
+	}{nil, w})
+	reader := NewStream(struct {
+		io.Reader
+		io.Writer
+	}{r, nil})
+
+	const writers, frames = 8, 50
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < frames; j++ {
+				if err := writer.Write(&Frame{ID: uint64(i*1000 + j), Kind: FrameOneWay, Payload: ping{Seq: j}}); err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		w.Close()
+	}()
+	seen := 0
+	for {
+		f, err := reader.Read()
+		if err != nil {
+			break
+		}
+		if _, ok := f.Payload.(ping); !ok {
+			t.Fatalf("corrupt payload %#v: frames interleaved", f.Payload)
+		}
+		seen++
+	}
+	if seen != writers*frames {
+		t.Fatalf("read %d frames, want %d", seen, writers*frames)
+	}
+}

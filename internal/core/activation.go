@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aodb/internal/directory"
+)
+
+// activation is one in-memory instance of a virtual actor, owned by a
+// silo. All application code for the actor runs on the activation's single
+// mailbox goroutine.
+type activation struct {
+	id    ID
+	silo  *Silo
+	cfg   *kindConfig
+	actor Actor
+	box   *mailbox
+	reg   directory.Registration
+
+	lastBusy atomic.Int64 // unix nanos of last non-timer turn
+
+	timersMu sync.Mutex
+	timers   map[string]func() // name -> stop
+
+	drained chan struct{} // closed after full deactivation cleanup
+}
+
+func newActivation(id ID, silo *Silo, cfg *kindConfig, reg directory.Registration) *activation {
+	a := &activation{
+		id:      id,
+		silo:    silo,
+		cfg:     cfg,
+		actor:   cfg.factory(),
+		box:     newMailbox(),
+		reg:     reg,
+		timers:  make(map[string]func()),
+		drained: make(chan struct{}),
+	}
+	a.lastBusy.Store(silo.rt.clk.Now().UnixNano())
+	return a
+}
+
+// run is the mailbox goroutine: activate, process turns, deactivate.
+func (a *activation) run() {
+	activateErr := a.activate()
+	if activateErr != nil {
+		// Fail every queued message, then tear down so the next call can
+		// retry with a fresh activation.
+		a.box.close()
+	}
+	for {
+		env, ok := a.box.pop()
+		if !ok {
+			break
+		}
+		if activateErr != nil {
+			env.fail(fmt.Errorf("core: activating %s: %w", a.id, activateErr))
+			continue
+		}
+		a.turn(env)
+	}
+	a.deactivate(activateErr == nil)
+}
+
+// activate loads persistent state and runs the OnActivate hook.
+func (a *activation) activate() error {
+	cctx := a.context(context.Background(), nil)
+	if a.cfg.persist != PersistNone {
+		if err := a.loadState(cctx); err != nil {
+			return err
+		}
+	}
+	if hook, ok := a.actor.(Activator); ok {
+		if err := hook.OnActivate(cctx); err != nil {
+			return err
+		}
+	}
+	a.silo.metrics.Counter("core.activations").Inc()
+	a.silo.metrics.Gauge("core.active").Add(1)
+	return nil
+}
+
+// turn executes one message under the silo's capacity limiter.
+func (a *activation) turn(env envelope) {
+	if !env.timer {
+		a.lastBusy.Store(a.silo.rt.clk.Now().UnixNano())
+	}
+	ctx := env.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cost := a.silo.rt.costOf(a.id, env.msg)
+	err := a.silo.limiter.Execute(ctx, cost, func() error {
+		cctx := a.context(ctx, env.chain)
+		v, err := a.actor.Receive(cctx, env.msg)
+		if env.reply != nil {
+			env.reply <- turnResult{val: v, err: err}
+		}
+		return nil
+	})
+	if err != nil {
+		env.fail(err)
+	}
+	a.silo.metrics.Counter("core.turns").Inc()
+}
+
+// deactivate runs teardown after the mailbox has drained. The order
+// matters: hooks and the final state write complete before the directory
+// registration disappears, so a successor activation can never load stale
+// state.
+func (a *activation) deactivate(wasActive bool) {
+	a.stopAllTimers()
+	if wasActive {
+		cctx := a.context(context.Background(), nil)
+		if hook, ok := a.actor.(Deactivator); ok {
+			if err := hook.OnDeactivate(cctx); err != nil {
+				a.silo.metrics.Counter("core.deactivate_hook_errors").Inc()
+			}
+		}
+		if a.cfg.persist == PersistOnDeactivate {
+			if err := a.writeState(cctx); err != nil {
+				a.silo.metrics.Counter("core.state_write_errors").Inc()
+			}
+		}
+		a.silo.metrics.Gauge("core.active").Add(-1)
+		a.silo.metrics.Counter("core.deactivations").Inc()
+	}
+	a.silo.rt.directory.Unregister(a.reg)
+	a.silo.removeActivation(a)
+	close(a.drained)
+}
+
+func (a *activation) context(ctx context.Context, chain []string) *Context {
+	return &Context{Context: ctx, rt: a.silo.rt, silo: a.silo, self: a.id, act: a, chain: chain}
+}
+
+// loadState hydrates a Stateful actor from the state table.
+func (a *activation) loadState(ctx context.Context) error {
+	st, ok := a.actor.(Stateful)
+	if !ok || a.silo.rt.stateTable == nil {
+		return nil
+	}
+	it, err := a.silo.rt.stateTable.Get(ctx, a.id.String())
+	if err != nil {
+		if isNotFound(err) {
+			return nil // first activation ever: keep zero-value state
+		}
+		return err
+	}
+	if err := json.Unmarshal(it.Value, st.State()); err != nil {
+		return fmt.Errorf("core: corrupt state for %s: %w", a.id, err)
+	}
+	return nil
+}
+
+// writeState persists a Stateful actor's state.
+func (a *activation) writeState(ctx context.Context) error {
+	st, ok := a.actor.(Stateful)
+	if !ok {
+		return fmt.Errorf("core: %s is not Stateful", a.id)
+	}
+	if a.silo.rt.stateTable == nil {
+		return nil // no store configured: treat as volatile
+	}
+	data, err := json.Marshal(st.State())
+	if err != nil {
+		return err
+	}
+	_, err = a.silo.rt.stateTable.Put(ctx, a.id.String(), data)
+	if err == nil {
+		a.silo.metrics.Counter("core.state_writes").Inc()
+	}
+	return err
+}
+
+// idleFor returns how long the activation has gone without real traffic.
+func (a *activation) idleFor(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, a.lastBusy.Load()))
+}
+
+// registerTimer installs a per-activation timer delivering msg every
+// period. Timer ticks do not refresh the idle clock, matching Orleans
+// semantics where timers do not keep a grain alive.
+func (a *activation) registerTimer(name string, period time.Duration, msg any) error {
+	if period <= 0 {
+		return fmt.Errorf("core: timer %q period must be positive", name)
+	}
+	a.timersMu.Lock()
+	defer a.timersMu.Unlock()
+	if _, ok := a.timers[name]; ok {
+		return fmt.Errorf("core: timer %q already registered on %s", name, a.id)
+	}
+	stop := make(chan struct{})
+	a.timers[name] = func() { close(stop) }
+	ticker := a.silo.rt.clk.NewTicker(period)
+	go func() {
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C():
+				if !a.box.push(envelope{msg: msg, timer: true}) {
+					return // deactivating
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// cancelTimer stops a named timer; unknown names are ignored.
+func (a *activation) cancelTimer(name string) {
+	a.timersMu.Lock()
+	defer a.timersMu.Unlock()
+	if stop, ok := a.timers[name]; ok {
+		stop()
+		delete(a.timers, name)
+	}
+}
+
+func (a *activation) stopAllTimers() {
+	a.timersMu.Lock()
+	defer a.timersMu.Unlock()
+	for name, stop := range a.timers {
+		stop()
+		delete(a.timers, name)
+	}
+}
+
+func (e envelope) fail(err error) {
+	if e.reply != nil {
+		e.reply <- turnResult{err: err}
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"aodb/internal/clock"
+	"aodb/internal/kvstore"
+	"aodb/internal/systemstore"
+)
+
+// Context is passed to every actor turn. It carries the caller's
+// context.Context (cancellation, deadlines) plus the actor-facing runtime
+// surface: identity, messaging, persistence, timers, and reminders.
+//
+// A Context is only valid for the duration of the turn that received it;
+// actors must not retain it across turns.
+type Context struct {
+	context.Context
+	rt    *Runtime
+	silo  *Silo
+	self  ID
+	act   *activation
+	chain []string
+}
+
+// Self returns the identity of the actor processing this turn.
+func (c *Context) Self() ID { return c.self }
+
+// SiloName returns the name of the silo hosting this activation.
+func (c *Context) SiloName() string { return c.silo.name }
+
+// Clock returns the runtime clock. Actors use it instead of time.Now so
+// simulations and tests control time.
+func (c *Context) Clock() clock.Clock { return c.rt.clk }
+
+// Call invokes another actor and waits for its reply. The runtime tracks
+// the synchronous call chain and fails fast with ErrCallCycle on re-entry,
+// since a cycle would deadlock the single-threaded mailboxes involved.
+func (c *Context) Call(id ID, msg any) (any, error) {
+	return c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, true)
+}
+
+// Tell sends a one-way message to another actor.
+func (c *Context) Tell(id ID, msg any) error {
+	_, err := c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, false)
+	return err
+}
+
+func (c *Context) chainCopy() []string {
+	out := make([]string, len(c.chain), len(c.chain)+1)
+	copy(out, c.chain)
+	return out
+}
+
+// WriteState persists the actor's state now — the analog of Orleans'
+// WriteStateAsync. The write is charged against the state table's
+// provisioned throughput, so hot-path writes can block; see the paper's
+// durability discussion in Section 5.
+func (c *Context) WriteState() error {
+	return c.act.writeState(c.Context)
+}
+
+// Table returns an auxiliary table in the runtime's store, creating it
+// (unlimited throughput) if needed. Actors use it for data that outgrows
+// their own state — e.g. sensor channels archiving closed window segments
+// so long-period historical queries stay answerable after the in-memory
+// window moves on. Returns an error when the runtime has no store.
+func (c *Context) Table(name string) (*kvstore.Table, error) {
+	if c.rt.cfg.Store == nil {
+		return nil, errors.New("core: runtime has no store configured")
+	}
+	return c.rt.cfg.Store.EnsureTable(name, kvstore.Throughput{})
+}
+
+// RegisterTimer delivers msg to this actor every period while it stays
+// activated. Timers are volatile: they die with the activation and do not
+// keep it alive.
+func (c *Context) RegisterTimer(name string, period time.Duration, msg any) error {
+	return c.act.registerTimer(name, period, msg)
+}
+
+// CancelTimer stops a named timer.
+func (c *Context) CancelTimer(name string) {
+	c.act.cancelTimer(name)
+}
+
+// RegisterReminder persists a reminder that fires a ReminderTick at this
+// actor every period, re-activating it if it was collected. Requires a
+// Store on the runtime.
+func (c *Context) RegisterReminder(name string, period time.Duration) error {
+	if c.rt.reminders == nil {
+		return errors.New("core: reminders need a Store on the runtime")
+	}
+	return c.rt.reminders.RegisterReminder(c.Context, systemstore.Reminder{
+		Target: c.self.String(),
+		Name:   name,
+		Period: period,
+	})
+}
+
+// UnregisterReminder removes a persistent reminder.
+func (c *Context) UnregisterReminder(name string) error {
+	if c.rt.reminders == nil {
+		return errors.New("core: reminders need a Store on the runtime")
+	}
+	return c.rt.reminders.UnregisterReminder(c.Context, c.self.String(), name)
+}
+
+// DeactivateOnIdle requests prompt collection of this activation: it is
+// torn down as soon as its mailbox drains, rather than waiting for the
+// idle collector.
+func (c *Context) DeactivateOnIdle() {
+	// Closing when empty now may lose the race with queued messages; the
+	// collector semantics are fine here because the mailbox close is
+	// attempted after the current turn by a goroutine watching emptiness.
+	go func() {
+		for !c.act.box.closeIfEmpty() {
+			t := c.rt.clk.NewTimer(time.Millisecond)
+			<-t.C()
+		}
+	}()
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced by the runtime.
+var (
+	// ErrUnknownKind reports a Call to a kind no silo has registered.
+	ErrUnknownKind = errors.New("core: unknown actor kind")
+	// ErrShutdown reports a Call on a runtime that has been shut down.
+	ErrShutdown = errors.New("core: runtime shut down")
+	// ErrCallCycle reports a synchronous call chain that revisits an
+	// actor already waiting in the chain, which would deadlock its
+	// single-threaded mailbox.
+	ErrCallCycle = errors.New("core: call cycle detected")
+	// ErrNoSilos reports a runtime with no silos added yet.
+	ErrNoSilos = errors.New("core: no silos in runtime")
+)
+
+// wrongSiloError is returned by a silo that lost the activation race for
+// an actor; the runtime re-routes the call to the winner.
+type wrongSiloError struct {
+	Actor  string
+	Winner string
+}
+
+func (e *wrongSiloError) Error() string {
+	return fmt.Sprintf("core: %s is activated on %s", e.Actor, e.Winner)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"aodb/internal/kvstore"
+)
+
+// TestRemoveSiloFailover exercises the silo-loss recovery path: a
+// persistent actor lives on one silo, the silo is removed, and the next
+// call re-activates the actor elsewhere with its persisted state.
+func TestRemoveSiloFailover(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	rt := newTestRuntime(t, Config{Store: kv})
+	registerCounter(t, rt, WithPersistence(PersistOnDeactivate))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	// Spread some actors; find one on each silo.
+	perSilo := map[string]ID{}
+	for i := 0; len(perSilo) < 2 && i < 200; i++ {
+		id := ID{"Counter", fmt.Sprintf("c%d", i)}
+		if _, err := rt.Call(ctx, id, addMsg{N: i}); err != nil {
+			t.Fatal(err)
+		}
+		reg, ok := rt.Directory().Lookup(id.String())
+		if !ok {
+			t.Fatal("no registration after call")
+		}
+		if _, seen := perSilo[reg.Silo]; !seen {
+			perSilo[reg.Silo] = id
+		}
+	}
+	victim, ok := perSilo["silo-1"]
+	if !ok {
+		t.Fatal("no actor landed on silo-1")
+	}
+	before, err := rt.Call(ctx, victim, getMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rt.RemoveSilo(ctx, "silo-1"); err != nil {
+		t.Fatal(err)
+	}
+	// The actor must come back on silo-2 with its persisted state.
+	after, err := rt.Call(ctx, victim, getMsg{})
+	if err != nil {
+		t.Fatalf("call after silo loss: %v", err)
+	}
+	if after != before {
+		t.Fatalf("state after failover = %v, want %v", after, before)
+	}
+	reg, ok := rt.Directory().Lookup(victim.String())
+	if !ok || reg.Silo != "silo-2" {
+		t.Fatalf("registration after failover = %+v, want silo-2", reg)
+	}
+	// And new work keeps flowing.
+	if _, err := rt.Call(ctx, ID{"Counter", "fresh"}, addMsg{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveUnknownSilo(t *testing.T) {
+	rt := newTestRuntime(t, Config{})
+	if err := rt.RemoveSilo(context.Background(), "ghost"); err == nil {
+		t.Fatal("removing unknown silo succeeded")
+	}
+}
+
+func TestRemoveLastSiloLeavesRuntimeCallableAfterReAdd(t *testing.T) {
+	rt := newTestRuntime(t, Config{})
+	registerCounter(t, rt)
+	rt.AddSilo("silo-1", nil)
+	ctx := context.Background()
+	rt.Call(ctx, ID{"Counter", "x"}, addMsg{1})
+	if err := rt.RemoveSilo(ctx, "silo-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Call(ctx, ID{"Counter", "x"}, getMsg{}); err == nil {
+		t.Fatal("call with no silos succeeded")
+	}
+	if _, err := rt.AddSilo("silo-2", nil); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Call(ctx, ID{"Counter", "x"}, getMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without a store, state restarts from zero — documented volatility.
+	if v.(int) != 0 {
+		t.Fatalf("volatile state after re-add = %v, want 0", v)
+	}
+}
+
+// TestStateWriteBlockedByProvisionedThroughput injects storage throttling
+// into the persistence path: a state table with minuscule write capacity
+// makes WriteState slow, but the write still succeeds (blocking, not
+// failing) — DynamoDB-style throttling semantics.
+func TestStateWriteBlockedByProvisionedThroughput(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	rt := newTestRuntime(t, Config{
+		Store:           kv,
+		StateThroughput: kvstore.Throughput{WriteUnits: 5},
+	})
+	registerCounter(t, rt, WithPersistence(PersistExplicit))
+	rt.AddSilo("silo-1", nil)
+	ctx := context.Background()
+	// Burn the burst, then time a throttled write.
+	for i := 0; i < 5; i++ {
+		rt.Call(ctx, ID{"Counter", fmt.Sprintf("w%d", i)}, addMsg{1})
+		if _, err := rt.Call(ctx, ID{"Counter", fmt.Sprintf("w%d", i)}, saveMsg{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	if _, err := rt.Call(ctx, ID{"Counter", "w0"}, saveMsg{}); err != nil {
+		t.Fatalf("throttled write failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("throttled write returned in %v, throttling not applied", elapsed)
+	}
+}
+
+// TestIDRoundTripProperty: parse(id.String()) == id for all valid IDs.
+func TestIDRoundTripProperty(t *testing.T) {
+	f := func(kindRaw, keyRaw string) bool {
+		kind := strings.ReplaceAll(kindRaw, "/", "_")
+		if kind == "" {
+			kind = "K"
+		}
+		key := keyRaw
+		if key == "" {
+			key = "k"
+		}
+		id := ID{Kind: kind, Key: key}
+		parsed, err := ParseID(id.String())
+		if err != nil {
+			return false
+		}
+		return parsed == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMailboxFIFOProperty: any push sequence pops in order.
+func TestMailboxFIFOProperty(t *testing.T) {
+	f := func(values []int) bool {
+		m := newMailbox()
+		for _, v := range values {
+			if !m.push(envelope{msg: v}) {
+				return false
+			}
+		}
+		for _, want := range values {
+			env, ok := m.pop()
+			if !ok || env.msg.(int) != want {
+				return false
+			}
+		}
+		m.close()
+		if _, ok := m.pop(); ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxCloseIfEmptyRaces(t *testing.T) {
+	// closeIfEmpty must refuse while a message is queued.
+	m := newMailbox()
+	m.push(envelope{msg: 1})
+	if m.closeIfEmpty() {
+		t.Fatal("closed non-empty mailbox")
+	}
+	m.pop()
+	if !m.closeIfEmpty() {
+		t.Fatal("failed to close empty mailbox")
+	}
+	if m.push(envelope{msg: 2}) {
+		t.Fatal("push into closed mailbox succeeded")
+	}
+	// Idempotent.
+	if !m.closeIfEmpty() {
+		t.Fatal("closeIfEmpty on closed mailbox returned false")
+	}
+}

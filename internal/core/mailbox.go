@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// envelope is one queued message for an activation.
+type envelope struct {
+	ctx   context.Context
+	msg   any
+	reply chan turnResult // nil for one-way sends
+	chain []string        // synchronous call chain, for cycle detection
+	timer bool            // timer ticks do not refresh the idle clock
+}
+
+type turnResult struct {
+	val any
+	err error
+}
+
+// mailbox is an unbounded FIFO queue with a cooperative close protocol.
+// It is unbounded on purpose: per-actor queues in Orleans are unbounded
+// too, and backpressure in this runtime comes from the silo's capacity
+// limiter. An unbounded queue is also what lets the latency-percentile
+// experiments exhibit honest queueing delay instead of tail-dropping.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push enqueues env, returning false if the mailbox has been closed (the
+// activation is deactivating and the caller must re-resolve the actor).
+func (m *mailbox) push(env envelope) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.q = append(m.q, env)
+	m.cond.Signal()
+	return true
+}
+
+// pop dequeues the next envelope, blocking while the mailbox is open and
+// empty. It returns ok=false once the mailbox is closed and drained.
+func (m *mailbox) pop() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.q) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.q) == 0 {
+		return envelope{}, false
+	}
+	env := m.q[0]
+	// Shift instead of reslicing forever; the queue is typically tiny.
+	copy(m.q, m.q[1:])
+	m.q = m.q[:len(m.q)-1]
+	return env, true
+}
+
+// closeIfEmpty atomically closes the mailbox when it holds no messages,
+// returning whether it closed. The idle collector uses this so that a
+// message racing in keeps the activation alive.
+func (m *mailbox) closeIfEmpty() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return true
+	}
+	if len(m.q) > 0 {
+		return false
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	return true
+}
+
+// close closes the mailbox unconditionally; queued envelopes will still be
+// drained by pop. Used at runtime shutdown.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.cond.Broadcast()
+}
+
+// empty reports whether the queue is currently drained.
+func (m *mailbox) empty() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.q) == 0
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aodb/internal/capacity"
+	"aodb/internal/clock"
+	"aodb/internal/directory"
+	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
+	"aodb/internal/placement"
+	"aodb/internal/systemstore"
+	"aodb/internal/transport"
+)
+
+// CostFunc assigns a simulated CPU cost to one actor turn, used with
+// capacity-limited silos to reproduce bounded-server behaviour. A nil
+// CostFunc means all turns are free (still bounded in concurrency if the
+// silo has a limiter).
+type CostFunc func(id ID, msg any) time.Duration
+
+// ViewProvider supplies the current set of active silos for placement.
+type ViewProvider interface {
+	View() []string
+}
+
+// Config configures a Runtime. The zero value is usable: an in-process
+// transport with no latency model, random placement, no persistence, and
+// no capacity limits.
+type Config struct {
+	// Transport moves messages between silos. Nil means a zero-latency
+	// in-process transport.
+	Transport transport.Transport
+	// Placement is the default strategy for kinds without an override.
+	// Nil means random placement (Orleans' default).
+	Placement placement.Strategy
+	// Store enables actor-state persistence and reminders when set.
+	Store *kvstore.Store
+	// StateTable names the grain-state table in Store (default "grains").
+	StateTable string
+	// StateThroughput provisions the state table when it must be created
+	// (zero = unlimited).
+	StateThroughput kvstore.Throughput
+	// Cost simulates per-turn CPU cost on capacity-limited silos.
+	Cost CostFunc
+	// IdleAfter is how long an activation may sit idle before collection
+	// (default 2 minutes).
+	IdleAfter time.Duration
+	// CollectEvery is the idle-collector period (default 15 seconds).
+	CollectEvery time.Duration
+	// RemindersEvery is the reminder-poll period; zero disables the
+	// reminder service (it also requires Store).
+	RemindersEvery time.Duration
+	// View overrides the silo set used for placement. Nil means all silos
+	// added to this Runtime.
+	View ViewProvider
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Metrics receives runtime instrumentation; nil allocates a registry.
+	Metrics *metrics.Registry
+}
+
+// Runtime is an actor-oriented database instance: a set of silos, a grain
+// directory, kind registrations, and the shared persistence plumbing.
+type Runtime struct {
+	cfg        Config
+	clk        clock.Clock
+	directory  *directory.Directory
+	metrics    *metrics.Registry
+	stateTable *kvstore.Table
+	reminders  *systemstore.Store
+
+	mu       sync.RWMutex
+	kinds    map[string]*kindConfig
+	silos    map[string]*Silo
+	siloList []string // sorted names, rebuilt on AddSilo
+	shutdown bool
+
+	reminderStop chan struct{}
+	reminderDone chan struct{}
+}
+
+// New creates a runtime. Add at least one silo and register kinds before
+// calling actors.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = transport.NewLocal(nil, cfg.Clock)
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = placement.NewRandom(cfg.Clock.Now().UnixNano())
+	}
+	if cfg.StateTable == "" {
+		cfg.StateTable = "grains"
+	}
+	if cfg.IdleAfter <= 0 {
+		cfg.IdleAfter = 2 * time.Minute
+	}
+	if cfg.CollectEvery <= 0 {
+		cfg.CollectEvery = 15 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		directory: directory.New(),
+		metrics:   cfg.Metrics,
+		kinds:     make(map[string]*kindConfig),
+		silos:     make(map[string]*Silo),
+	}
+	if cfg.Store != nil {
+		table, err := cfg.Store.EnsureTable(cfg.StateTable, cfg.StateThroughput)
+		if err != nil {
+			return nil, err
+		}
+		rt.stateTable = table
+		sys, err := systemstore.New(cfg.Store, cfg.Clock)
+		if err != nil {
+			return nil, err
+		}
+		rt.reminders = sys
+		if cfg.RemindersEvery > 0 {
+			rt.reminderStop = make(chan struct{})
+			rt.reminderDone = make(chan struct{})
+			go rt.reminderLoop()
+		}
+	}
+	return rt, nil
+}
+
+// RegisterKind makes a kind callable. It must be called before any actor
+// of the kind is addressed; re-registering a kind is an error.
+func (rt *Runtime) RegisterKind(kind string, factory Factory, opts ...KindOption) error {
+	if kind == "" || factory == nil {
+		return errors.New("core: RegisterKind needs a kind name and factory")
+	}
+	cfg := &kindConfig{kind: kind, factory: factory}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.kinds[kind]; ok {
+		return fmt.Errorf("core: kind %q already registered", kind)
+	}
+	rt.kinds[kind] = cfg
+	return nil
+}
+
+func (rt *Runtime) kind(name string) (*kindConfig, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	cfg, ok := rt.kinds[name]
+	return cfg, ok
+}
+
+// AddSilo creates a silo named name with an optional capacity limiter
+// (nil = unbounded) and registers it with the transport.
+func (rt *Runtime) AddSilo(name string, limiter *capacity.Limiter) (*Silo, error) {
+	if name == "" {
+		return nil, errors.New("core: empty silo name")
+	}
+	rt.mu.Lock()
+	if rt.shutdown {
+		rt.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if _, ok := rt.silos[name]; ok {
+		rt.mu.Unlock()
+		return nil, fmt.Errorf("core: silo %q already exists", name)
+	}
+	s := newSilo(name, rt, limiter)
+	rt.silos[name] = s
+	rt.siloList = append(rt.siloList, name)
+	sort.Strings(rt.siloList)
+	rt.mu.Unlock()
+	if err := rt.cfg.Transport.Register(name, s.handle); err != nil {
+		rt.mu.Lock()
+		delete(rt.silos, name)
+		rt.rebuildSiloList()
+		rt.mu.Unlock()
+		return nil, err
+	}
+	go s.collector(rt.cfg.CollectEvery)
+	return s, nil
+}
+
+func (rt *Runtime) rebuildSiloList() {
+	rt.siloList = rt.siloList[:0]
+	for n := range rt.silos {
+		rt.siloList = append(rt.siloList, n)
+	}
+	sort.Strings(rt.siloList)
+}
+
+// RemoveSilo takes a silo out of service: it drains its activations
+// (persisting state where configured), evicts its directory entries so
+// actors can re-activate elsewhere, and removes it from the placement
+// view. It models both graceful decommission and — when the silo's state
+// was persisted — recovery from silo loss.
+func (rt *Runtime) RemoveSilo(ctx context.Context, name string) error {
+	rt.mu.Lock()
+	s, ok := rt.silos[name]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("core: no silo %q", name)
+	}
+	delete(rt.silos, name)
+	rt.rebuildSiloList()
+	rt.mu.Unlock()
+
+	close(s.collectorStop)
+	select {
+	case <-s.collectorDone:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := s.drainAll(ctx); err != nil {
+		return err
+	}
+	// Evict any remaining registrations (activations unregister themselves
+	// during teardown; this catches ones that failed mid-activation).
+	rt.directory.EvictSilo(name)
+	if lt, ok := rt.cfg.Transport.(*transport.Local); ok {
+		lt.Deregister(name)
+	}
+	return nil
+}
+
+// Silo returns a silo by name (for tests and tooling).
+func (rt *Runtime) Silo(name string) (*Silo, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	s, ok := rt.silos[name]
+	return s, ok
+}
+
+// view returns the active silo set used for placement.
+func (rt *Runtime) view() []string {
+	if rt.cfg.View != nil {
+		return rt.cfg.View.View()
+	}
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return append([]string(nil), rt.siloList...)
+}
+
+func (rt *Runtime) costOf(id ID, msg any) time.Duration {
+	if rt.cfg.Cost == nil {
+		return 0
+	}
+	return rt.cfg.Cost(id, msg)
+}
+
+// Metrics exposes the runtime's instrument registry.
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
+
+// Clock exposes the runtime clock.
+func (rt *Runtime) Clock() clock.Clock { return rt.clk }
+
+// Directory exposes activation placement information (read-only use).
+func (rt *Runtime) Directory() *directory.Directory { return rt.directory }
+
+// Call sends msg to the actor named id and waits for its reply. The call
+// activates the actor if needed, according to the kind's placement.
+func (rt *Runtime) Call(ctx context.Context, id ID, msg any) (any, error) {
+	return rt.call(ctx, "", nil, id, msg, true)
+}
+
+// Tell sends msg one-way: it is delivered through the actor's mailbox but
+// no reply is awaited.
+func (rt *Runtime) Tell(ctx context.Context, id ID, msg any) error {
+	_, err := rt.call(ctx, "", nil, id, msg, false)
+	return err
+}
+
+// call is the shared routing path for external callers (callerSilo == "")
+// and actor-to-actor calls.
+func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, id ID, msg any, needReply bool) (any, error) {
+	if err := id.Validate(); err != nil {
+		return nil, err
+	}
+	rt.mu.RLock()
+	dead := rt.shutdown
+	rt.mu.RUnlock()
+	if dead {
+		return nil, ErrShutdown
+	}
+	cfg, ok := rt.kind(id.Kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, id.Kind)
+	}
+	for _, hop := range chain {
+		if hop == id.String() {
+			return nil, fmt.Errorf("%w: %v -> %s", ErrCallCycle, chain, id)
+		}
+	}
+	strat := cfg.placement
+	if strat == nil {
+		strat = rt.cfg.Placement
+	}
+	method := "call"
+	if !needReply {
+		method = "tell"
+	}
+	const maxHops = 8
+	var lastErr error
+	for attempt := 0; attempt < maxHops; attempt++ {
+		target := ""
+		if reg, ok := rt.directory.Lookup(id.String()); ok {
+			target = reg.Silo
+		} else {
+			view := rt.view()
+			if len(view) == 0 {
+				return nil, ErrNoSilos
+			}
+			var err error
+			target, err = strat.Place(id.String(), callerSilo, view)
+			if err != nil {
+				return nil, err
+			}
+		}
+		req := transport.Request{
+			TargetKind: id.Kind,
+			TargetKey:  id.Key,
+			Method:     method,
+			Payload:    msg,
+			Sender:     callerSilo,
+			Chain:      chain,
+		}
+		// One-way sends also travel as transport calls: the reply just
+		// acknowledges the enqueue, not the turn. This keeps Tell reliable
+		// when the target silo loses an activation race and the message
+		// must be re-routed to the winner.
+		resp, err := rt.cfg.Transport.Call(ctx, target, req)
+		var wrong *wrongSiloError
+		if errors.As(err, &wrong) {
+			// The target silo lost (or never entered) the activation race;
+			// the directory now points at the winner. Retry.
+			lastErr = err
+			continue
+		}
+		return resp, err
+	}
+	return nil, fmt.Errorf("core: %s unroutable after %d attempts: %w", id, maxHops, lastErr)
+}
+
+// reminderLoop polls the reminder table and fires due reminders by calling
+// their target actors, re-activating them if needed.
+func (rt *Runtime) reminderLoop() {
+	defer close(rt.reminderDone)
+	t := rt.clk.NewTicker(rt.cfg.RemindersEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.reminderStop:
+			return
+		case <-t.C():
+			rt.fireDueReminders()
+		}
+	}
+}
+
+func (rt *Runtime) fireDueReminders() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	now := rt.clk.Now()
+	due, err := rt.reminders.Due(ctx, now)
+	if err != nil {
+		rt.metrics.Counter("core.reminder_poll_errors").Inc()
+		return
+	}
+	for _, r := range due {
+		id, err := ParseID(r.Target)
+		if err != nil {
+			rt.metrics.Counter("core.reminder_bad_target").Inc()
+			_ = rt.reminders.UnregisterReminder(ctx, r.Target, r.Name)
+			continue
+		}
+		if _, err := rt.Call(ctx, id, ReminderTick{Name: r.Name, Due: r.NextDue}); err != nil {
+			rt.metrics.Counter("core.reminder_delivery_errors").Inc()
+			continue // leave NextDue unchanged; retried next poll
+		}
+		if _, err := rt.reminders.Advance(ctx, r, now); err != nil {
+			rt.metrics.Counter("core.reminder_advance_errors").Inc()
+		}
+		rt.metrics.Counter("core.reminders_fired").Inc()
+	}
+}
+
+// Shutdown deactivates every activation on every silo (persisting state
+// where configured), stops background loops, and closes the transport.
+func (rt *Runtime) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	if rt.shutdown {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.shutdown = true
+	silos := make([]*Silo, 0, len(rt.silos))
+	for _, s := range rt.silos {
+		silos = append(silos, s)
+	}
+	rt.mu.Unlock()
+
+	if rt.reminderStop != nil {
+		close(rt.reminderStop)
+		<-rt.reminderDone
+	}
+	var firstErr error
+	for _, s := range silos {
+		close(s.collectorStop)
+	}
+	for _, s := range silos {
+		select {
+		case <-s.collectorDone:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err := s.drainAll(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := rt.cfg.Transport.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"aodb/internal/capacity"
+	"aodb/internal/directory"
+	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
+	"aodb/internal/transport"
+)
+
+// Silo is one logical server hosting activations. In simulated multi-
+// server runs all silos live in one Runtime and process; in a real TCP
+// deployment each process hosts one.
+type Silo struct {
+	name    string
+	rt      *Runtime
+	limiter *capacity.Limiter // nil = unbounded
+	metrics *metrics.Registry
+
+	mu      sync.Mutex
+	catalog map[ID]*activation
+	closing bool
+
+	collectorStop chan struct{}
+	collectorDone chan struct{}
+}
+
+func newSilo(name string, rt *Runtime, limiter *capacity.Limiter) *Silo {
+	return &Silo{
+		name:          name,
+		rt:            rt,
+		limiter:       limiter,
+		metrics:       rt.metrics,
+		catalog:       make(map[ID]*activation),
+		collectorStop: make(chan struct{}),
+		collectorDone: make(chan struct{}),
+	}
+}
+
+// Name returns the silo's cluster-unique name.
+func (s *Silo) Name() string { return s.name }
+
+// Activations returns the number of live activations (for tests and
+// benchmark reporting).
+func (s *Silo) Activations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.catalog)
+}
+
+// handle is the transport-facing entry point for messages addressed to
+// actors this silo should host.
+func (s *Silo) handle(ctx context.Context, req transport.Request) (any, error) {
+	id := ID{Kind: req.TargetKind, Key: req.TargetKey}
+	return s.deliver(ctx, id, req.Payload, req.Method != "tell", req.Chain)
+}
+
+// deliver routes one message to the actor's activation, creating it if
+// needed, and waits for the reply when needReply is set.
+func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chain []string) (any, error) {
+	var reply chan turnResult
+	turnCtx := ctx
+	if needReply {
+		reply = make(chan turnResult, 1)
+	} else {
+		// One-way deliveries are acknowledged at enqueue; the turn itself
+		// must not be cancelled when the sender moves on.
+		turnCtx = context.WithoutCancel(ctx)
+	}
+	env := envelope{ctx: turnCtx, msg: msg, reply: reply, chain: chain}
+	for {
+		act, err := s.resolve(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if act.box.push(env) {
+			break
+		}
+		// The activation closed between resolve and push; wait for its
+		// teardown to finish, then re-resolve.
+		select {
+		case <-act.drained:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if !needReply {
+		return nil, nil
+	}
+	select {
+	case res := <-reply:
+		return res.val, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// resolve returns the live activation for id on this silo, activating the
+// actor if this silo wins the directory race. It returns wrongSiloError
+// when another silo holds the activation.
+func (s *Silo) resolve(ctx context.Context, id ID) (*activation, error) {
+	cfg, ok := s.rt.kind(id.Kind)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, id.Kind)
+	}
+	for {
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			return nil, ErrShutdown
+		}
+		if act, ok := s.catalog[id]; ok {
+			s.mu.Unlock()
+			return act, nil
+		}
+		s.mu.Unlock()
+
+		reg, err := s.rt.directory.Register(id.String(), s.name)
+		if err != nil {
+			if !errors.Is(err, directory.ErrAlreadyRegistered) {
+				return nil, err
+			}
+			if reg.Silo != s.name {
+				return nil, &wrongSiloError{Actor: id.String(), Winner: reg.Silo}
+			}
+			// Registered to this silo but not in the catalog: a previous
+			// activation is mid-teardown. Yield and retry.
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+			waitTimer := s.rt.clk.NewTimer(100 * time.Microsecond)
+			select {
+			case <-ctx.Done():
+				waitTimer.Stop()
+				return nil, ctx.Err()
+			case <-waitTimer.C():
+			}
+			continue
+		}
+
+		act := newActivation(id, s, cfg, reg)
+		s.mu.Lock()
+		if s.closing {
+			s.mu.Unlock()
+			s.rt.directory.Unregister(reg)
+			return nil, ErrShutdown
+		}
+		s.catalog[id] = act
+		s.mu.Unlock()
+		go act.run()
+		return act, nil
+	}
+}
+
+// removeActivation drops a fully deactivated activation from the catalog.
+func (s *Silo) removeActivation(a *activation) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.catalog[a.id]; ok && cur == a {
+		delete(s.catalog, a.id)
+	}
+}
+
+// collector periodically deactivates idle activations, the analog of
+// Orleans reclaiming grains that "have been standing idle for too long".
+func (s *Silo) collector(every time.Duration) {
+	defer close(s.collectorDone)
+	t := s.rt.clk.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.collectorStop:
+			return
+		case <-t.C():
+			s.collectIdle()
+		}
+	}
+}
+
+func (s *Silo) collectIdle() {
+	now := s.rt.clk.Now()
+	s.mu.Lock()
+	candidates := make([]*activation, 0)
+	for _, act := range s.catalog {
+		idleAfter := act.cfg.idleAfter
+		if idleAfter == 0 {
+			idleAfter = s.rt.cfg.IdleAfter
+		}
+		if act.idleFor(now) >= idleAfter {
+			candidates = append(candidates, act)
+		}
+	}
+	s.mu.Unlock()
+	for _, act := range candidates {
+		// closeIfEmpty loses the race to any in-flight message, which is
+		// exactly right: traffic keeps an activation alive.
+		act.box.closeIfEmpty()
+	}
+}
+
+// drainAll synchronously deactivates every activation (shutdown path).
+func (s *Silo) drainAll(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	acts := make([]*activation, 0, len(s.catalog))
+	for _, a := range s.catalog {
+		acts = append(acts, a)
+	}
+	s.mu.Unlock()
+	for _, a := range acts {
+		a.box.close()
+	}
+	for _, a := range acts {
+		select {
+		case <-a.drained:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+func isNotFound(err error) bool { return errors.Is(err, kvstore.ErrNotFound) }

@@ -1,0 +1,174 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"aodb/internal/clock"
+)
+
+func ttlStore(t *testing.T) (*Store, *clock.Fake) {
+	t.Helper()
+	fc := clock.NewFake(time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC))
+	s, err := Open(Options{Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, fc
+}
+
+func TestPutWithTTLExpires(t *testing.T) {
+	s, fc := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	ctx := context.Background()
+	if _, err := tb.PutWithTTL(ctx, "session", []byte("live"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Get(ctx, "session"); err != nil {
+		t.Fatalf("fresh TTL item unreadable: %v", err)
+	}
+	fc.Advance(59 * time.Second)
+	if _, err := tb.Get(ctx, "session"); err != nil {
+		t.Fatalf("item expired early: %v", err)
+	}
+	fc.Advance(2 * time.Second)
+	if _, err := tb.Get(ctx, "session"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired item read = %v, want ErrNotFound", err)
+	}
+}
+
+func TestTTLValidation(t *testing.T) {
+	s, _ := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	if _, err := tb.PutWithTTL(context.Background(), "k", nil, 0); err == nil {
+		t.Fatal("zero TTL accepted")
+	}
+}
+
+func TestExpiredItemsHiddenFromScanAndLen(t *testing.T) {
+	s, fc := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	ctx := context.Background()
+	tb.Put(ctx, "forever", []byte("x"))
+	tb.PutWithTTL(ctx, "fleeting", []byte("y"), time.Second)
+	fc.Advance(2 * time.Second)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	var seen []string
+	tb.Scan(ctx, "", func(it Item) bool { seen = append(seen, it.Key); return true })
+	if len(seen) != 1 || seen[0] != "forever" {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestExpiredCountsAsAbsentForPutIf(t *testing.T) {
+	s, fc := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	ctx := context.Background()
+	v1, err := tb.PutWithTTL(ctx, "k", []byte("a"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(2 * time.Second)
+	// PutIf(create) succeeds because the item is logically gone...
+	v2, err := tb.PutIf(ctx, "k", []byte("b"), 0)
+	if err != nil {
+		t.Fatalf("PutIf over expired item: %v", err)
+	}
+	// ...but the version counter stays monotone so the old holder's
+	// conditional writes fail.
+	if v2 <= v1 {
+		t.Fatalf("version regressed: %d -> %d", v1, v2)
+	}
+	if _, err := tb.PutIf(ctx, "k", []byte("stale"), v1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale writer = %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestDeleteIf(t *testing.T) {
+	s, _ := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	ctx := context.Background()
+	v, err := tb.Put(ctx, "k", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.DeleteIf(ctx, "k", v+1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("wrong-version delete = %v", err)
+	}
+	if err := tb.DeleteIf(ctx, "k", v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("item survived DeleteIf: %v", err)
+	}
+	if err := tb.DeleteIf(ctx, "k", v); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("delete of missing item = %v, want ErrVersionMismatch", err)
+	}
+	if err := tb.DeleteIf(ctx, "k", 0); err == nil {
+		t.Fatal("non-positive expected version accepted")
+	}
+}
+
+func TestSweepReclaimsExpired(t *testing.T) {
+	s, fc := ttlStore(t)
+	tb, _ := s.EnsureTable("t", Throughput{})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		tb.PutWithTTL(ctx, string(rune('a'+i)), []byte("x"), time.Second)
+	}
+	tb.Put(ctx, "keep", []byte("y"))
+	fc.Advance(2 * time.Second)
+	n, err := tb.Sweep(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("swept %d, want 5", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len after sweep = %d", tb.Len())
+	}
+	// Idempotent.
+	if n, _ := tb.Sweep(ctx); n != 0 {
+		t.Fatalf("second sweep reclaimed %d", n)
+	}
+}
+
+func TestTTLSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fc := clock.NewFake(time.Date(2026, 7, 5, 0, 0, 0, 0, time.UTC))
+	s, err := Open(Options{Dir: dir, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tb, _ := s.EnsureTable("t", Throughput{})
+	if _, err := tb.PutWithTTL(ctx, "k", []byte("x"), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Reopen before expiry: readable. The fake clock state carries over.
+	s2, err := Open(Options{Dir: dir, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _ := s2.Table("t")
+	it, err := tb2.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("TTL item lost on reopen: %v", err)
+	}
+	if it.ExpiresAt.IsZero() {
+		t.Fatal("expiry not recovered from WAL")
+	}
+	fc.Advance(2 * time.Hour)
+	if _, err := tb2.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("item readable after recovered expiry: %v", err)
+	}
+	s2.Close()
+}

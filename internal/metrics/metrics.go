@@ -1,0 +1,312 @@
+// Package metrics provides the lightweight instrumentation primitives used
+// throughout the AODB runtime and the benchmark harness: atomic counters,
+// gauges, and log-bucketed latency histograms with percentile estimation.
+//
+// The histogram design follows HdrHistogram's idea of logarithmic buckets
+// with linear sub-buckets, giving a bounded relative error (~3% with 32
+// sub-buckets) over a huge dynamic range while staying allocation-free on
+// the record path. That matters here because the paper's evaluation
+// (Figures 8 and 9) reports 50th..99.9th percentile latencies, and the
+// recorder sits on the critical path of every benchmark request.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta to the counter. Negative deltas are rejected.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: negative delta on Counter")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+const (
+	subBucketBits  = 5 // 32 linear sub-buckets per power of two
+	subBucketCount = 1 << subBucketBits
+	// maxExponent bounds recordable values at 2^41 ns ≈ 36 minutes, far
+	// beyond any latency this repository measures.
+	maxExponent = 41
+	bucketCount = (maxExponent - subBucketBits + 1) * subBucketCount
+)
+
+// Histogram is a concurrent log-bucketed histogram of int64 values
+// (conventionally nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	buckets  [bucketCount]atomic.Int64
+	count    atomic.Int64
+	sum      atomic.Int64
+	min      atomic.Int64 // stores math.MaxInt64 when empty
+	max      atomic.Int64
+	initOnce sync.Once
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.init()
+	return h
+}
+
+func (h *Histogram) init() {
+	h.initOnce.Do(func() {
+		h.min.Store(math.MaxInt64)
+		h.max.Store(math.MinInt64)
+	})
+}
+
+// bucketIndex maps a value to its bucket. Values <= 0 map to bucket 0.
+func bucketIndex(v int64) int {
+	if v < subBucketCount {
+		if v < 0 {
+			v = 0
+		}
+		return int(v)
+	}
+	// Position of the highest set bit determines the power-of-two bucket;
+	// the next subBucketBits bits select the linear sub-bucket.
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	if msb > maxExponent {
+		msb = maxExponent
+		v = 1 << maxExponent
+	}
+	shift := msb - subBucketBits
+	idx := (shift+1)*subBucketCount + int((v>>shift)&(subBucketCount-1))
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the representative (upper bound) value for bucket i.
+func bucketUpper(i int) int64 {
+	if i < subBucketCount {
+		return int64(i)
+	}
+	shift := i/subBucketCount - 1
+	sub := int64(i % subBucketCount)
+	return (subBucketCount + sub + 1) << shift
+}
+
+// Record adds a value to the histogram.
+func (h *Histogram) Record(v int64) {
+	h.init()
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration adds a duration in nanoseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures a point-in-time view of a histogram.
+type Snapshot struct {
+	Count  int64
+	Sum    int64
+	Min    int64
+	Max    int64
+	counts []int64 // per-bucket counts, index-aligned with bucketUpper
+}
+
+// Snapshot returns a consistent-enough copy for percentile queries.
+// Concurrent recording during snapshotting may skew counts by the handful
+// of in-flight records, which is acceptable for benchmark reporting.
+func (h *Histogram) Snapshot() Snapshot {
+	h.init()
+	s := Snapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Min:    h.min.Load(),
+		Max:    h.max.Load(),
+		counts: make([]int64, bucketCount),
+	}
+	if s.Count == 0 {
+		s.Min = 0
+		s.Max = 0
+	}
+	for i := range h.buckets {
+		s.counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Percentile returns the value at quantile p in [0,100]. Results carry the
+// bucket quantization error (~3% relative).
+func (s Snapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min
+	}
+	if p >= 100 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			if u < s.Min {
+				u = s.Min
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of recorded values.
+func (s Snapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// PercentileDuration is Percentile for duration-valued histograms.
+func (s Snapshot) PercentileDuration(p float64) time.Duration {
+	return time.Duration(s.Percentile(p))
+}
+
+// String summarizes the snapshot at the conventional reporting percentiles.
+func (s Snapshot) String() string {
+	if s.Count == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%s", s.Count, time.Duration(int64(s.Mean())))
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		fmt.Fprintf(&b, " p%g=%s", p, s.PercentileDuration(p))
+	}
+	fmt.Fprintf(&b, " max=%s", time.Duration(s.Max))
+	return b.String()
+}
+
+// Registry is a named collection of metrics, used by silos and benchmarks
+// to expose their instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders every metric in the registry, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("histogram %s: %s", name, h.Snapshot()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

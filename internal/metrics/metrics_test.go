@@ -1,0 +1,246 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Percentile(50) != 0 || s.Mean() != 0 {
+		t.Fatalf("empty histogram snapshot not zeroed: %+v", s)
+	}
+	if s.String() != "empty" {
+		t.Fatalf("empty String() = %q", s.String())
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 1000 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 1000 {
+			t.Fatalf("p%g = %d, want 1000", p, got)
+		}
+	}
+}
+
+func TestHistogramNegativeClampedToZeroBucket(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if got := s.Percentile(50); got != -5 {
+		// min/max clamp to actual min recorded
+		t.Fatalf("p50 = %d, want -5 (clamped to Min)", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var values []int64
+	for i := 0; i < 100000; i++ {
+		// Log-uniform values spanning 1us..1s in nanoseconds.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3)
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	s := h.Snapshot()
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := values[int(p/100*float64(len(values)))-1]
+		got := s.Percentile(p)
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.05 {
+			t.Errorf("p%g = %d, exact %d, rel err %.3f > 0.05", p, got, exact, relErr)
+		}
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{100, 200, 300} {
+		h.Record(v)
+	}
+	if m := h.Snapshot().Mean(); m != 200 {
+		t.Fatalf("mean = %v, want 200", m)
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for j := 0; j < 10000; j++ {
+				h.Record(int64(rng.Intn(1 << 20)))
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d, want 80000", h.Count())
+	}
+}
+
+func TestHistogramRecordDuration(t *testing.T) {
+	h := NewHistogram()
+	h.RecordDuration(time.Millisecond)
+	if got := h.Snapshot().PercentileDuration(50); got < 900*time.Microsecond || got > 1100*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1ms", got)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<22; v += 97 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at v=%d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestBucketUpperBoundsValue(t *testing.T) {
+	// Property: every value falls in a bucket whose upper bound is >= the
+	// value and within ~2x relative error bound of it.
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		idx := bucketIndex(v)
+		u := bucketUpper(idx)
+		if u < v {
+			return false
+		}
+		if v >= 64 && float64(u-v) > float64(v)*0.05 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Record(int64(rng.Intn(1 << 30)))
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := s.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentile not monotone at p=%v: %d < %d", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter not reused")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge not reused")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram not reused")
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("active").Set(2)
+	r.Histogram("lat").Record(1000)
+	d := r.Dump()
+	for _, want := range []string{"counter reqs = 3", "gauge active = 2", "histogram lat"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(12345)
+		for pb.Next() {
+			h.Record(v)
+			v = v*1664525 + 1013904223
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+}

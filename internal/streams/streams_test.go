@@ -1,0 +1,215 @@
+package streams
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aodb/internal/core"
+)
+
+// sinkActor records every stream event it receives.
+type sinkActor struct {
+	mu     *sync.Mutex
+	events *[]Event
+}
+
+type drainMsg struct{}
+
+func (s *sinkActor) OnActivate(*core.Context) error { return nil }
+
+func (s *sinkActor) Receive(_ *core.Context, msg any) (any, error) {
+	switch m := msg.(type) {
+	case Event:
+		s.mu.Lock()
+		*s.events = append(*s.events, m)
+		s.mu.Unlock()
+		return nil, nil
+	case drainMsg:
+		s.mu.Lock()
+		n := len(*s.events)
+		s.mu.Unlock()
+		return n, nil
+	}
+	return nil, fmt.Errorf("unknown %T", msg)
+}
+
+type sinkRegistry struct {
+	mu    sync.Mutex
+	sinks map[string]*[]Event
+	locks map[string]*sync.Mutex
+}
+
+func newRuntime(t *testing.T) (*core.Runtime, *sinkRegistry) {
+	t.Helper()
+	rt, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	if err := RegisterKind(rt); err != nil {
+		t.Fatal(err)
+	}
+	reg := &sinkRegistry{sinks: map[string]*[]Event{}, locks: map[string]*sync.Mutex{}}
+	// Sinks share recorded-event slices through the registry keyed by a
+	// counter, since factories cannot see the actor key.
+	var next int
+	var factoryMu sync.Mutex
+	rt.RegisterKind("Sink", func() core.Actor {
+		factoryMu.Lock()
+		key := fmt.Sprintf("inst-%d", next)
+		next++
+		factoryMu.Unlock()
+		events := &[]Event{}
+		mu := &sync.Mutex{}
+		reg.mu.Lock()
+		reg.sinks[key] = events
+		reg.locks[key] = mu
+		reg.mu.Unlock()
+		return &sinkActor{mu: mu, events: events}
+	})
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	return rt, reg
+}
+
+func waitEvents(t *testing.T, rt *core.Runtime, sink core.ID, want int) int {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		v, err := rt.Call(context.Background(), sink, drainMsg{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) >= want {
+			return v.(int)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink %s has %d events, want %d", sink, v, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	st := New(rt, "sensor-feed")
+	subs := []core.ID{{Kind: "Sink", Key: "a"}, {Kind: "Sink", Key: "b"}, {Kind: "Sink", Key: "c"}}
+	for _, s := range subs {
+		if err := st.Subscribe(ctx, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := st.Publish(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range subs {
+		waitEvents(t, rt, s, 5)
+	}
+}
+
+func TestSequenceNumbersIncrease(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	st := New(rt, "seq-stream")
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		seq, err := st.Publish(ctx, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq <= prev {
+			t.Fatalf("seq %d after %d", seq, prev)
+		}
+		prev = seq
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	st := New(rt, "s")
+	sink := core.ID{Kind: "Sink", Key: "u"}
+	if err := st.Subscribe(ctx, sink); err != nil {
+		t.Fatal(err)
+	}
+	st.Publish(ctx, "one")
+	waitEvents(t, rt, sink, 1)
+	if err := st.Unsubscribe(ctx, sink); err != nil {
+		t.Fatal(err)
+	}
+	st.Publish(ctx, "two")
+	time.Sleep(50 * time.Millisecond)
+	if got := waitEvents(t, rt, sink, 1); got != 1 {
+		t.Fatalf("events after unsubscribe = %d, want 1", got)
+	}
+}
+
+func TestStreamsAreIsolated(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	a := New(rt, "stream-a")
+	b := New(rt, "stream-b")
+	sink := core.ID{Kind: "Sink", Key: "iso"}
+	if err := a.Subscribe(ctx, sink); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish(ctx, "not for you")
+	a.Publish(ctx, "for you")
+	waitEvents(t, rt, sink, 1)
+	time.Sleep(30 * time.Millisecond)
+	if got := waitEvents(t, rt, sink, 1); got != 1 {
+		t.Fatalf("sink got %d events, want only stream-a's 1", got)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	st := New(rt, "v")
+	if _, err := rt.Call(ctx, core.ID{Kind: Kind, Key: "v"}, Subscribe{Subscriber: ""}); err == nil {
+		t.Fatal("empty subscriber accepted")
+	}
+	if _, err := rt.Call(ctx, core.ID{Kind: Kind, Key: "v"}, Subscribe{Subscriber: "no-slash"}); err == nil {
+		t.Fatal("malformed subscriber accepted")
+	}
+	_ = st
+}
+
+func TestSubscribersListing(t *testing.T) {
+	rt, _ := newRuntime(t)
+	ctx := context.Background()
+	st := New(rt, "l")
+	st.Subscribe(ctx, core.ID{Kind: "Sink", Key: "b"})
+	st.Subscribe(ctx, core.ID{Kind: "Sink", Key: "a"})
+	got, err := st.Subscribers(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "Sink/a" || got[1] != "Sink/b" {
+		t.Fatalf("Subscribers = %v", got)
+	}
+	// Duplicate subscription is idempotent.
+	st.Subscribe(ctx, core.ID{Kind: "Sink", Key: "a"})
+	got, _ = st.Subscribers(ctx)
+	if len(got) != 2 {
+		t.Fatalf("after duplicate subscribe = %v", got)
+	}
+}
+
+func TestPublishToEmptyStream(t *testing.T) {
+	rt, _ := newRuntime(t)
+	st := New(rt, "empty")
+	if _, err := st.Publish(context.Background(), "into the void"); err != nil {
+		t.Fatal(err)
+	}
+}

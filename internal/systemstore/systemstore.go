@@ -1,0 +1,279 @@
+// Package systemstore implements the cluster system tables — the analog of
+// the Amazon RDS instance the paper uses for "Orleans system storage, which
+// keeps track of silo instances, reminders, and general system state".
+//
+// It layers two tables on the kvstore: a membership table holding one row
+// per silo with its status and last heartbeat, and a reminder table holding
+// persistent timers that must fire even when their target actor is not
+// activated. Rows are JSON-encoded; the conditional-put support of the
+// kvstore gives the compare-and-swap semantics membership changes need.
+package systemstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"aodb/internal/clock"
+	"aodb/internal/kvstore"
+)
+
+// SiloStatus is the lifecycle state of a silo in the membership table.
+type SiloStatus string
+
+// Silo lifecycle states, in normal progression order.
+const (
+	StatusJoining SiloStatus = "joining"
+	StatusActive  SiloStatus = "active"
+	StatusSuspect SiloStatus = "suspect"
+	StatusDead    SiloStatus = "dead"
+)
+
+// SiloEntry is one membership table row.
+type SiloEntry struct {
+	Name          string
+	Address       string
+	Status        SiloStatus
+	LastHeartbeat time.Time
+	Generation    int64 // bumped on each re-join of the same name
+}
+
+// Reminder is a persistent timer registration. The runtime re-activates
+// Target and delivers a reminder message every Period, starting at NextDue.
+type Reminder struct {
+	Target  string // canonical actor id, e.g. "Aggregator/org-3/day"
+	Name    string
+	Period  time.Duration
+	NextDue time.Time
+}
+
+func reminderKey(target, name string) string { return target + "|" + name }
+
+// ErrStale reports a lost compare-and-swap race on a membership row.
+var ErrStale = errors.New("systemstore: stale membership update")
+
+// Store provides membership and reminder persistence.
+type Store struct {
+	members   *kvstore.Table
+	reminders *kvstore.Table
+	clk       clock.Clock
+}
+
+// New creates (or reopens) the system tables inside kv.
+func New(kv *kvstore.Store, clk clock.Clock) (*Store, error) {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	members, err := kv.EnsureTable("system.membership", kvstore.Throughput{})
+	if err != nil {
+		return nil, err
+	}
+	reminders, err := kv.EnsureTable("system.reminders", kvstore.Throughput{})
+	if err != nil {
+		return nil, err
+	}
+	return &Store{members: members, reminders: reminders, clk: clk}, nil
+}
+
+// Announce inserts or replaces a silo's membership row, bumping its
+// generation if the silo name was seen before.
+func (s *Store) Announce(ctx context.Context, entry SiloEntry) (SiloEntry, error) {
+	if entry.Name == "" {
+		return SiloEntry{}, errors.New("systemstore: empty silo name")
+	}
+	for {
+		prev, version, err := s.getMember(ctx, entry.Name)
+		switch {
+		case err == nil:
+			entry.Generation = prev.Generation + 1
+		case errors.Is(err, kvstore.ErrNotFound):
+			entry.Generation = 1
+			version = 0
+		default:
+			return SiloEntry{}, err
+		}
+		if entry.Status == "" {
+			entry.Status = StatusJoining
+		}
+		if entry.LastHeartbeat.IsZero() {
+			entry.LastHeartbeat = s.clk.Now()
+		}
+		if err := s.putMember(ctx, entry, version); err != nil {
+			if errors.Is(err, kvstore.ErrVersionMismatch) {
+				continue // lost a race with another announcer; retry
+			}
+			return SiloEntry{}, err
+		}
+		return entry, nil
+	}
+}
+
+// Heartbeat refreshes a silo's liveness timestamp and, when the silo was
+// suspect, restores it to active.
+func (s *Store) Heartbeat(ctx context.Context, name string) error {
+	entry, version, err := s.getMember(ctx, name)
+	if err != nil {
+		return err
+	}
+	entry.LastHeartbeat = s.clk.Now()
+	if entry.Status == StatusSuspect {
+		entry.Status = StatusActive
+	}
+	if err := s.putMember(ctx, entry, version); err != nil {
+		if errors.Is(err, kvstore.ErrVersionMismatch) {
+			return ErrStale
+		}
+		return err
+	}
+	return nil
+}
+
+// SetStatus transitions a silo to the given status.
+func (s *Store) SetStatus(ctx context.Context, name string, status SiloStatus) error {
+	entry, version, err := s.getMember(ctx, name)
+	if err != nil {
+		return err
+	}
+	entry.Status = status
+	if err := s.putMember(ctx, entry, version); err != nil {
+		if errors.Is(err, kvstore.ErrVersionMismatch) {
+			return ErrStale
+		}
+		return err
+	}
+	return nil
+}
+
+// Member returns one membership row.
+func (s *Store) Member(ctx context.Context, name string) (SiloEntry, error) {
+	entry, _, err := s.getMember(ctx, name)
+	return entry, err
+}
+
+// Members returns all membership rows, in silo-name order.
+func (s *Store) Members(ctx context.Context) ([]SiloEntry, error) {
+	var out []SiloEntry
+	var decodeErr error
+	err := s.members.Scan(ctx, "", func(it kvstore.Item) bool {
+		var e SiloEntry
+		if err := json.Unmarshal(it.Value, &e); err != nil {
+			decodeErr = fmt.Errorf("systemstore: corrupt membership row %q: %w", it.Key, err)
+			return false
+		}
+		out = append(out, e)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeErr
+}
+
+// Active returns the silos currently in active status.
+func (s *Store) Active(ctx context.Context) ([]SiloEntry, error) {
+	all, err := s.Members(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out []SiloEntry
+	for _, e := range all {
+		if e.Status == StatusActive {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+func (s *Store) getMember(ctx context.Context, name string) (SiloEntry, int64, error) {
+	it, err := s.members.Get(ctx, name)
+	if err != nil {
+		return SiloEntry{}, 0, err
+	}
+	var e SiloEntry
+	if err := json.Unmarshal(it.Value, &e); err != nil {
+		return SiloEntry{}, 0, fmt.Errorf("systemstore: corrupt membership row %q: %w", name, err)
+	}
+	return e, it.Version, nil
+}
+
+func (s *Store) putMember(ctx context.Context, entry SiloEntry, expectVersion int64) error {
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	_, err = s.members.PutIf(ctx, entry.Name, data, expectVersion)
+	return err
+}
+
+// RegisterReminder persists (or replaces) a reminder.
+func (s *Store) RegisterReminder(ctx context.Context, r Reminder) error {
+	if r.Target == "" || r.Name == "" {
+		return errors.New("systemstore: reminder needs target and name")
+	}
+	if r.Period <= 0 {
+		return errors.New("systemstore: reminder period must be positive")
+	}
+	if r.NextDue.IsZero() {
+		r.NextDue = s.clk.Now().Add(r.Period)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = s.reminders.Put(ctx, reminderKey(r.Target, r.Name), data)
+	return err
+}
+
+// UnregisterReminder removes a reminder. Removing a missing reminder is
+// not an error.
+func (s *Store) UnregisterReminder(ctx context.Context, target, name string) error {
+	return s.reminders.Delete(ctx, reminderKey(target, name))
+}
+
+// RemindersFor returns the reminders registered for one actor.
+func (s *Store) RemindersFor(ctx context.Context, target string) ([]Reminder, error) {
+	return s.scanReminders(ctx, target+"|", time.Time{})
+}
+
+// Due returns every reminder whose NextDue is at or before now.
+func (s *Store) Due(ctx context.Context, now time.Time) ([]Reminder, error) {
+	return s.scanReminders(ctx, "", now)
+}
+
+func (s *Store) scanReminders(ctx context.Context, prefix string, dueBy time.Time) ([]Reminder, error) {
+	var out []Reminder
+	var decodeErr error
+	err := s.reminders.Scan(ctx, prefix, func(it kvstore.Item) bool {
+		var r Reminder
+		if err := json.Unmarshal(it.Value, &r); err != nil {
+			decodeErr = fmt.Errorf("systemstore: corrupt reminder row %q: %w", it.Key, err)
+			return false
+		}
+		if dueBy.IsZero() || !r.NextDue.After(dueBy) {
+			out = append(out, r)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeErr
+}
+
+// Advance moves a fired reminder's NextDue forward past now by whole
+// periods, persisting the change.
+func (s *Store) Advance(ctx context.Context, r Reminder, now time.Time) (Reminder, error) {
+	for !r.NextDue.After(now) {
+		r.NextDue = r.NextDue.Add(r.Period)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return Reminder{}, err
+	}
+	if _, err := s.reminders.Put(ctx, reminderKey(r.Target, r.Name), data); err != nil {
+		return Reminder{}, err
+	}
+	return r, nil
+}

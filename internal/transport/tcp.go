@@ -1,0 +1,350 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"aodb/internal/codec"
+)
+
+// TCP is a transport for real multi-process deployments. Each endpoint
+// hosts one silo, listens on a TCP address, and multiplexes concurrent
+// calls to each peer over a single gob-framed connection.
+type TCP struct {
+	node     string
+	listener net.Listener
+
+	mu       sync.Mutex
+	handler  Handler
+	peers    map[string]string // node -> address
+	conns    map[string]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+type tcpConn struct {
+	stream  *codec.Stream
+	raw     net.Conn
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan *codec.Frame
+	dead    error
+}
+
+// NewTCP starts a TCP endpoint for node listening on addr (host:port;
+// use ":0" for an ephemeral port, then read Addr()).
+func NewTCP(node, addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCP{
+		node:     node,
+		listener: ln,
+		peers:    make(map[string]string),
+		conns:    make(map[string]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listen address, useful with ":0".
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// SetPeer records the address of a remote silo.
+func (t *TCP) SetPeer(node, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node] = addr
+}
+
+// Register binds the local silo's inbound handler. The node name must
+// match the one given to NewTCP; a TCP endpoint hosts exactly one silo.
+func (t *TCP) Register(node string, h Handler) error {
+	if node != t.node {
+		return fmt.Errorf("transport: endpoint %q cannot host silo %q", t.node, node)
+	}
+	if h == nil {
+		return errors.New("transport: nil handler")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.handler != nil {
+		return fmt.Errorf("transport: node %q already registered", node)
+	}
+	t.handler = h
+	return nil
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.serveConn(conn)
+			t.mu.Lock()
+			delete(t.accepted, conn)
+			t.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn handles inbound frames on an accepted connection.
+func (t *TCP) serveConn(conn net.Conn) {
+	defer conn.Close()
+	stream := codec.NewStream(conn)
+	for {
+		f, err := stream.Read()
+		if err != nil {
+			return
+		}
+		switch f.Kind {
+		case codec.FrameRequest, codec.FrameOneWay:
+			t.wg.Add(1)
+			go func(f *codec.Frame) {
+				defer t.wg.Done()
+				t.dispatch(stream, f)
+			}(f)
+		default:
+			// Responses never arrive on the server side of a connection;
+			// drop anything unexpected rather than crash the acceptor.
+		}
+	}
+}
+
+func (t *TCP) dispatch(stream *codec.Stream, f *codec.Frame) {
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	req := Request{
+		TargetKind: f.TargetKind,
+		TargetKey:  f.TargetKey,
+		Method:     f.Method,
+		Payload:    f.Payload,
+		Sender:     f.Sender,
+		Chain:      f.Chain,
+	}
+	var resp any
+	var err error
+	if h == nil {
+		err = fmt.Errorf("transport: node %q has no handler", t.node)
+	} else {
+		resp, err = h(context.Background(), req)
+	}
+	if f.Kind == codec.FrameOneWay {
+		return
+	}
+	out := &codec.Frame{ID: f.ID, Kind: codec.FrameResponse, Payload: resp}
+	if err != nil {
+		out.Kind = codec.FrameError
+		out.Err = err.Error()
+		out.Payload = nil
+	}
+	_ = stream.Write(out)
+}
+
+// conn returns (dialing if necessary) the multiplexed connection to node.
+func (t *TCP) conn(node string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[node]; ok && c.dead == nil {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[node]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", node, err)
+	}
+	c := &tcpConn{stream: codec.NewStream(raw), raw: raw, pending: make(map[uint64]chan *codec.Frame)}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		raw.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[node]; ok && existing.dead == nil {
+		// Lost a dial race; use the winner.
+		t.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	t.conns[node] = c
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		c.readLoop()
+	}()
+	return c, nil
+}
+
+// readLoop routes response frames to their waiting callers.
+func (c *tcpConn) readLoop() {
+	for {
+		f, err := c.stream.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.dead = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			c.raw.Close()
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f
+		}
+	}
+}
+
+// Call sends a request frame and waits for the matching response. Calls
+// addressed to this endpoint's own silo bypass the network entirely.
+func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
+	if node == t.node {
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			return nil, fmt.Errorf("transport: node %q has no handler", t.node)
+		}
+		return h(ctx, req)
+	}
+	c, err := t.conn(node)
+	if err != nil {
+		return nil, err
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan *codec.Frame, 1)
+	c.mu.Lock()
+	if c.dead != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection to %s failed: %w", node, c.dead)
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	frame := &codec.Frame{
+		ID:         id,
+		Kind:       codec.FrameRequest,
+		TargetKind: req.TargetKind,
+		TargetKey:  req.TargetKey,
+		Method:     req.Method,
+		Sender:     req.Sender,
+		Chain:      req.Chain,
+		Payload:    req.Payload,
+	}
+	if err := c.stream.Write(frame); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: write to %s: %w", node, err)
+	}
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	case f, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("transport: connection to %s closed mid-call", node)
+		}
+		if f.Kind == codec.FrameError {
+			return nil, &RemoteError{Node: node, Msg: f.Err}
+		}
+		return f.Payload, nil
+	}
+}
+
+// Send delivers a one-way frame. Sends to this endpoint's own silo run
+// the handler directly (asynchronously, preserving one-way semantics).
+func (t *TCP) Send(ctx context.Context, node string, req Request) error {
+	if node == t.node {
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h == nil {
+			return fmt.Errorf("transport: node %q has no handler", t.node)
+		}
+		go func() { _, _ = h(context.WithoutCancel(ctx), req) }()
+		return nil
+	}
+	c, err := t.conn(node)
+	if err != nil {
+		return err
+	}
+	frame := &codec.Frame{
+		ID:         c.nextID.Add(1),
+		Kind:       codec.FrameOneWay,
+		TargetKind: req.TargetKind,
+		TargetKey:  req.TargetKey,
+		Method:     req.Method,
+		Sender:     req.Sender,
+		Chain:      req.Chain,
+		Payload:    req.Payload,
+	}
+	return c.stream.Write(frame)
+}
+
+// Close stops the listener and all connections, waiting for in-flight
+// dispatches to drain.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*tcpConn{}
+	accepted := make([]net.Conn, 0, len(t.accepted))
+	for c := range t.accepted {
+		accepted = append(accepted, c)
+	}
+	t.mu.Unlock()
+	err := t.listener.Close()
+	for _, c := range conns {
+		c.raw.Close()
+	}
+	for _, c := range accepted {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}

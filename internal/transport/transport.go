@@ -1,0 +1,198 @@
+// Package transport moves actor messages between silos.
+//
+// Two implementations are provided. The Local transport connects silos
+// living in one process and charges each delivery the latency a netsim
+// Model assigns to the link — this is what the benchmark harness uses to
+// reproduce the paper's multi-server EC2 deployment on a single machine.
+// The TCP transport connects real processes with gob-encoded frames over
+// multiplexed connections, and backs the cmd/shmserver + cmd/shmload pair.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"aodb/internal/clock"
+	"aodb/internal/netsim"
+)
+
+// Request is one actor invocation in flight between silos.
+type Request struct {
+	TargetKind string
+	TargetKey  string
+	Method     string
+	Payload    any
+	Sender     string // originating silo
+	// Chain carries the synchronous call chain for cycle detection.
+	Chain []string
+	// SizeHint is the approximate encoded size in bytes used by the
+	// network model; zero means a small control message.
+	SizeHint int
+}
+
+// Handler processes an inbound request on the owning silo.
+type Handler func(ctx context.Context, req Request) (any, error)
+
+// Transport delivers requests to named silos.
+type Transport interface {
+	// Register binds the inbound handler for a silo hosted at this
+	// endpoint. A silo must be registered before peers can call it.
+	Register(node string, h Handler) error
+	// Call delivers req to node and waits for the response.
+	Call(ctx context.Context, node string, req Request) (any, error)
+	// Send delivers req to node without waiting for a result.
+	Send(ctx context.Context, node string, req Request) error
+	// Close releases connections and stops serving.
+	Close() error
+}
+
+// Errors reported by transports.
+var (
+	ErrUnknownNode = errors.New("transport: unknown node")
+	ErrClosed      = errors.New("transport: closed")
+)
+
+// RemoteError wraps an error string that crossed the wire.
+type RemoteError struct {
+	Node string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("remote error from %s: %s", e.Node, e.Msg)
+}
+
+// Local is an in-process transport with simulated link latency. It is the
+// default for tests, examples, and the benchmark harness.
+type Local struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	model    *netsim.Model
+	clk      clock.Clock
+	closed   bool
+
+	localCalls  atomic.Int64
+	remoteCalls atomic.Int64
+}
+
+// NewLocal returns a local transport. model may be nil for zero-latency
+// links; clk may be nil for the real clock.
+func NewLocal(model *netsim.Model, clk clock.Clock) *Local {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Local{handlers: make(map[string]Handler), model: model, clk: clk}
+}
+
+// Register binds node's inbound handler.
+func (l *Local) Register(node string, h Handler) error {
+	if h == nil {
+		return errors.New("transport: nil handler")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, ok := l.handlers[node]; ok {
+		return fmt.Errorf("transport: node %q already registered", node)
+	}
+	l.handlers[node] = h
+	return nil
+}
+
+// Deregister removes a node (used when simulating silo failure).
+func (l *Local) Deregister(node string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, node)
+}
+
+func (l *Local) handler(node string) (Handler, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	h, ok := l.handlers[node]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+	}
+	return h, nil
+}
+
+func (l *Local) delay(ctx context.Context, from, to string, size int) error {
+	if l.model == nil {
+		return nil
+	}
+	d := l.model.Delay(from, to, size)
+	if d <= 0 {
+		return nil
+	}
+	t := l.clk.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C():
+		return nil
+	}
+}
+
+// Call delivers req to node, paying the simulated request and response
+// latency, and returns the handler's result.
+func (l *Local) Call(ctx context.Context, node string, req Request) (any, error) {
+	h, err := l.handler(node)
+	if err != nil {
+		return nil, err
+	}
+	if req.Sender == node {
+		l.localCalls.Add(1)
+	} else {
+		l.remoteCalls.Add(1)
+	}
+	if err := l.delay(ctx, req.Sender, node, req.SizeHint); err != nil {
+		return nil, err
+	}
+	resp, err := h(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := l.delay(ctx, node, req.Sender, 0); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Send delivers req without waiting for the handler to finish.
+func (l *Local) Send(ctx context.Context, node string, req Request) error {
+	h, err := l.handler(node)
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := l.delay(ctx, req.Sender, node, req.SizeHint); err != nil {
+			return
+		}
+		_, _ = h(context.WithoutCancel(ctx), req)
+	}()
+	return nil
+}
+
+// Stats returns how many calls stayed on their silo vs crossed silos.
+// Calls from external clients (empty sender) count as remote.
+func (l *Local) Stats() (local, remote int64) {
+	return l.localCalls.Load(), l.remoteCalls.Load()
+}
+
+// Close shuts the transport down.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.handlers = map[string]Handler{}
+	return nil
+}
