@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"aodb/internal/faults"
+)
+
+// TestChaosSoak is the capstone robustness test: sustained SHM load and a
+// stream of acknowledged writes while silos crash and restart, messages
+// drop/duplicate/delay, storage writes fail, and actor turns panic. The
+// run must finish with zero lost acknowledged writes, no unclassified
+// errors, and no process crash (a panic escaping an activation would fail
+// the test binary itself).
+func TestChaosSoak(t *testing.T) {
+	duration := 6 * time.Second
+	if testing.Short() {
+		duration = 2 * time.Second
+	}
+	cfg := ChaosConfig{
+		Silos:      3,
+		Ledgers:    8,
+		Clients:    8,
+		Sensors:    20,
+		Duration:   duration,
+		CrashEvery: duration / 5,
+		OpTimeout:  2 * time.Second,
+		Seed:       42,
+		Faults: faults.Config{
+			Drop:     0.02,
+			Dup:      0.01,
+			Delay:    0.02,
+			MaxDelay: 2 * time.Millisecond,
+			KVWrite:  0.02,
+			Panic:    0.005,
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+
+	if len(res.LostWrites) != 0 {
+		t.Errorf("LOST %d acknowledged writes: %v", len(res.LostWrites), res.LostWrites)
+	}
+	if len(res.Unclassified) != 0 {
+		t.Errorf("unclassified errors: %v", res.Unclassified)
+	}
+	if res.AckedWrites == 0 {
+		t.Error("no writes were acknowledged; the soak exercised nothing")
+	}
+	if res.Crashes == 0 {
+		t.Error("no silo crashes happened; the soak exercised nothing")
+	}
+	// Unavailability is bounded: after the chaos window the cluster healed
+	// fast enough for the full audit to complete well inside its budget.
+	if res.VerifyElapsed > 30*time.Second {
+		t.Errorf("healing audit took %v", res.VerifyElapsed)
+	}
+	t.Logf("acked=%d crashes=%d restarts=%d retriedOps=%d runtimeRetries=%d "+
+		"injected(drop=%d dup=%d delay=%d kv=%d panic=%d) shm(ok=%d err=%d) breakerTrips=%v verify=%v",
+		res.AckedWrites, res.Crashes, res.Restarts, res.RetriedOps, res.CallRetries,
+		res.InjectedDrops, res.InjectedDups, res.InjectedDelays, res.InjectedKVErrs,
+		res.InjectedPanics, res.SHMCompleted, res.SHMErrors, res.BreakerTrips, res.VerifyElapsed)
+}
+
+// TestChaosCalmRunIsClean: with all fault probabilities at zero and no
+// crashes, the harness itself introduces no errors or losses — so any
+// failure in the soak above is attributable to the injected chaos.
+func TestChaosCalmRunIsClean(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := RunChaos(ctx, ChaosConfig{
+		Silos:      2,
+		Ledgers:    2,
+		Clients:    2,
+		Duration:   400 * time.Millisecond,
+		CrashEvery: time.Hour, // never fires inside the window
+		Seed:       7,
+		Faults:     faults.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LostWrites) != 0 || len(res.Unclassified) != 0 {
+		t.Fatalf("calm run dirty: lost=%v unclassified=%v", res.LostWrites, res.Unclassified)
+	}
+	if res.AckedWrites == 0 {
+		t.Fatal("calm run acked nothing")
+	}
+	if res.RetriedOps != 0 {
+		t.Fatalf("calm run needed %d client retries", res.RetriedOps)
+	}
+	if res.InjectedDrops+res.InjectedKVErrs+res.InjectedPanics != 0 {
+		t.Fatal("calm run injected faults")
+	}
+}

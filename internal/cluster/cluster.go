@@ -227,3 +227,46 @@ func NewStaticView(silos ...string) *StaticView {
 
 // View returns the fixed silo set.
 func (s *StaticView) View() []string { return append([]string(nil), s.silos...) }
+
+// Viewer supplies an active silo set; Membership and StaticView both
+// satisfy it, as does core's runtime-internal list.
+type Viewer interface {
+	View() []string
+}
+
+// FilteredView layers a health veto over another view provider: silos the
+// reject predicate currently vetoes (typically ones whose transport
+// circuit breaker is open) are hidden from placement, so new activations
+// land on silos that are actually answering. If the veto would empty the
+// view entirely, the unfiltered view is returned instead — degrading to
+// ordinary fail-and-retry routing (which is also what lets half-open
+// breakers see probe traffic) rather than reporting an empty cluster.
+type FilteredView struct {
+	base   Viewer
+	reject func(silo string) bool
+}
+
+// NewFilteredView wraps base so that silos with reject(name) == true are
+// excluded from View. A nil reject filters nothing.
+func NewFilteredView(base Viewer, reject func(silo string) bool) *FilteredView {
+	return &FilteredView{base: base, reject: reject}
+}
+
+// View returns base's view minus vetoed silos (falling back to the full
+// view when everything is vetoed).
+func (f *FilteredView) View() []string {
+	all := f.base.View()
+	if f.reject == nil {
+		return all
+	}
+	kept := make([]string, 0, len(all))
+	for _, s := range all {
+		if !f.reject(s) {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		return all
+	}
+	return kept
+}

@@ -3,12 +3,15 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aodb/internal/directory"
+	"aodb/internal/kvstore"
 )
 
 // activation is one in-memory instance of a virtual actor, owned by a
@@ -23,6 +26,13 @@ type activation struct {
 	reg   directory.Registration
 
 	lastBusy atomic.Int64 // unix nanos of last non-timer turn
+	crashed  atomic.Bool  // silo crash: skip all teardown persistence
+
+	// stateVersion is the kvstore version the activation's state was
+	// loaded at; writes are fenced with PutIf so a zombie activation (one
+	// that survived a simulated silo crash mid-turn) can never clobber
+	// its successor's state. Only touched on the mailbox goroutine.
+	stateVersion int64
 
 	timersMu sync.Mutex
 	timers   map[string]func() // name -> stop
@@ -45,7 +55,10 @@ func newActivation(id ID, silo *Silo, cfg *kindConfig, reg directory.Registratio
 	return a
 }
 
-// run is the mailbox goroutine: activate, process turns, deactivate.
+// run is the mailbox goroutine: activate, process turns, deactivate. A
+// panic in any turn poisons the activation: the panicking call gets a
+// PanicError, queued and late messages fail transient (so retries reach a
+// fresh activation), and the silo process itself never crashes.
 func (a *activation) run() {
 	activateErr := a.activate()
 	if activateErr != nil {
@@ -53,6 +66,7 @@ func (a *activation) run() {
 		// retry with a fresh activation.
 		a.box.close()
 	}
+	var poison error
 	for {
 		env, ok := a.box.pop()
 		if !ok {
@@ -62,13 +76,32 @@ func (a *activation) run() {
 			env.fail(fmt.Errorf("core: activating %s: %w", a.id, activateErr))
 			continue
 		}
-		a.turn(env)
+		if a.crashed.Load() {
+			env.fail(fmt.Errorf("core: %s lost to silo crash: %w", a.id, ErrTransient))
+			continue
+		}
+		if poison != nil {
+			env.fail(fmt.Errorf("core: %s deactivating after panic: %w", a.id, ErrTransient))
+			continue
+		}
+		if perr := a.turn(env); perr != nil {
+			poison = perr
+			a.box.close()
+		}
 	}
-	a.deactivate(activateErr == nil)
+	dirty := poison != nil || a.crashed.Load()
+	a.deactivate(activateErr == nil, dirty)
 }
 
-// activate loads persistent state and runs the OnActivate hook.
-func (a *activation) activate() error {
+// activate loads persistent state and runs the OnActivate hook. Panics in
+// either are recovered into an activation error.
+func (a *activation) activate() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.silo.metrics.Counter("core.panics").Inc()
+			err = &PanicError{Actor: a.id.String(), Value: r, Stack: string(debug.Stack())}
+		}
+	}()
 	cctx := a.context(context.Background(), nil)
 	if a.cfg.persist != PersistNone {
 		if err := a.loadState(cctx); err != nil {
@@ -85,8 +118,9 @@ func (a *activation) activate() error {
 	return nil
 }
 
-// turn executes one message under the silo's capacity limiter.
-func (a *activation) turn(env envelope) {
+// turn executes one message under the silo's capacity limiter. It returns
+// non-nil only when the actor panicked, which poisons the activation.
+func (a *activation) turn(env envelope) (panicked error) {
 	if !env.timer {
 		a.lastBusy.Store(a.silo.rt.clk.Now().UnixNano())
 	}
@@ -97,7 +131,11 @@ func (a *activation) turn(env envelope) {
 	cost := a.silo.rt.costOf(a.id, env.msg)
 	err := a.silo.limiter.Execute(ctx, cost, func() error {
 		cctx := a.context(ctx, env.chain)
-		v, err := a.actor.Receive(cctx, env.msg)
+		v, err := a.invoke(cctx, env.msg)
+		if perr, ok := err.(*PanicError); ok {
+			panicked = perr
+			v = nil
+		}
 		if env.reply != nil {
 			env.reply <- turnResult{val: v, err: err}
 		}
@@ -107,25 +145,36 @@ func (a *activation) turn(env envelope) {
 		env.fail(err)
 	}
 	a.silo.metrics.Counter("core.turns").Inc()
+	return panicked
+}
+
+// invoke runs the actor handler for one turn, converting panics into
+// PanicError so application bugs and injected faults are isolated to the
+// activation instead of taking down the silo process.
+func (a *activation) invoke(cctx *Context, msg any) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.silo.metrics.Counter("core.panics").Inc()
+			v = nil
+			err = &PanicError{Actor: a.id.String(), Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if hook := a.silo.rt.cfg.BeforeTurn; hook != nil {
+		hook(a.id, msg)
+	}
+	return a.actor.Receive(cctx, msg)
 }
 
 // deactivate runs teardown after the mailbox has drained. The order
 // matters: hooks and the final state write complete before the directory
 // registration disappears, so a successor activation can never load stale
-// state.
-func (a *activation) deactivate(wasActive bool) {
+// state. A dirty teardown (panic poison or silo crash) skips hooks and
+// persistence: the in-memory state is suspect or deliberately "lost".
+func (a *activation) deactivate(wasActive, dirty bool) {
 	a.stopAllTimers()
 	if wasActive {
-		cctx := a.context(context.Background(), nil)
-		if hook, ok := a.actor.(Deactivator); ok {
-			if err := hook.OnDeactivate(cctx); err != nil {
-				a.silo.metrics.Counter("core.deactivate_hook_errors").Inc()
-			}
-		}
-		if a.cfg.persist == PersistOnDeactivate {
-			if err := a.writeState(cctx); err != nil {
-				a.silo.metrics.Counter("core.state_write_errors").Inc()
-			}
+		if !dirty {
+			a.teardownHooks()
 		}
 		a.silo.metrics.Gauge("core.active").Add(-1)
 		a.silo.metrics.Counter("core.deactivations").Inc()
@@ -135,11 +184,34 @@ func (a *activation) deactivate(wasActive bool) {
 	close(a.drained)
 }
 
+// teardownHooks runs OnDeactivate and the final state write, recovering
+// panics so a buggy teardown cannot crash the silo.
+func (a *activation) teardownHooks() {
+	defer func() {
+		if r := recover(); r != nil {
+			a.silo.metrics.Counter("core.panics").Inc()
+			a.silo.metrics.Counter("core.deactivate_hook_errors").Inc()
+		}
+	}()
+	cctx := a.context(context.Background(), nil)
+	if hook, ok := a.actor.(Deactivator); ok {
+		if err := hook.OnDeactivate(cctx); err != nil {
+			a.silo.metrics.Counter("core.deactivate_hook_errors").Inc()
+		}
+	}
+	if a.cfg.persist == PersistOnDeactivate {
+		if err := a.writeState(cctx); err != nil {
+			a.silo.metrics.Counter("core.state_write_errors").Inc()
+		}
+	}
+}
+
 func (a *activation) context(ctx context.Context, chain []string) *Context {
 	return &Context{Context: ctx, rt: a.silo.rt, silo: a.silo, self: a.id, act: a, chain: chain}
 }
 
-// loadState hydrates a Stateful actor from the state table.
+// loadState hydrates a Stateful actor from the state table, remembering
+// the version it loaded so later writes can be fenced.
 func (a *activation) loadState(ctx context.Context) error {
 	st, ok := a.actor.(Stateful)
 	if !ok || a.silo.rt.stateTable == nil {
@@ -148,6 +220,7 @@ func (a *activation) loadState(ctx context.Context) error {
 	it, err := a.silo.rt.stateTable.Get(ctx, a.id.String())
 	if err != nil {
 		if isNotFound(err) {
+			a.stateVersion = 0
 			return nil // first activation ever: keep zero-value state
 		}
 		return err
@@ -155,10 +228,16 @@ func (a *activation) loadState(ctx context.Context) error {
 	if err := json.Unmarshal(it.Value, st.State()); err != nil {
 		return fmt.Errorf("core: corrupt state for %s: %w", a.id, err)
 	}
+	a.stateVersion = it.Version
 	return nil
 }
 
-// writeState persists a Stateful actor's state.
+// writeState persists a Stateful actor's state with a conditional put
+// fenced on the version this activation last observed. A mismatch means
+// a successor activation (created after this silo was declared crashed)
+// has already written; this activation is a zombie. It deactivates itself
+// so queued work re-routes to the live activation, and reports
+// ErrStaleActivation — transient, because a retry reaches fresh state.
 func (a *activation) writeState(ctx context.Context) error {
 	st, ok := a.actor.(Stateful)
 	if !ok {
@@ -171,11 +250,18 @@ func (a *activation) writeState(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	_, err = a.silo.rt.stateTable.Put(ctx, a.id.String(), data)
-	if err == nil {
-		a.silo.metrics.Counter("core.state_writes").Inc()
+	next, err := a.silo.rt.stateTable.PutIf(ctx, a.id.String(), data, a.stateVersion)
+	if err != nil {
+		if errors.Is(err, kvstore.ErrVersionMismatch) {
+			a.silo.metrics.Counter("core.stale_writes_fenced").Inc()
+			a.box.close() // self-deactivate; successor owns the state now
+			return fmt.Errorf("%w: %s at v%d: %v", ErrStaleActivation, a.id, a.stateVersion, err)
+		}
+		return err
 	}
-	return err
+	a.stateVersion = next
+	a.silo.metrics.Counter("core.state_writes").Inc()
+	return nil
 }
 
 // idleFor returns how long the activation has gone without real traffic.

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+
+	"aodb/internal/transport"
 )
 
 // Errors surfaced by the runtime.
@@ -17,7 +20,39 @@ var (
 	ErrCallCycle = errors.New("core: call cycle detected")
 	// ErrNoSilos reports a runtime with no silos added yet.
 	ErrNoSilos = errors.New("core: no silos in runtime")
+
+	// ErrTransient marks errors that are safe to retry: the failure is a
+	// property of the moment (an activation race, a dead silo being
+	// routed around, a dropped message), not of the request. Errors carry
+	// the mark via errors.Is; use Transient to classify.
+	ErrTransient = errors.New("core: transient failure")
+	// ErrActorPanic marks a panic recovered inside an actor handler. The
+	// panicking activation is poisoned and deactivated; the error is
+	// permanent for the call that triggered it, but a fresh Call to the
+	// same actor ID re-activates it. Match with errors.Is(err,
+	// ErrActorPanic) or errors.As with *PanicError.
+	ErrActorPanic = errors.New("core: actor panicked")
+	// ErrStaleActivation reports a state write fenced off by the version
+	// check: another activation of the same actor has written since this
+	// one loaded. The stale activation deactivates itself; retrying
+	// reaches the fresh one, so the error is transient.
+	ErrStaleActivation = errors.New("core: stale activation fenced")
 )
+
+// PanicError is the recovered panic from an actor handler, carrying the
+// panic value and the goroutine stack at the point of recovery.
+type PanicError struct {
+	Actor string
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: actor %s panicked: %v", e.Actor, e.Value)
+}
+
+// Is marks PanicError as ErrActorPanic for errors.Is.
+func (e *PanicError) Is(target error) bool { return target == ErrActorPanic }
 
 // wrongSiloError is returned by a silo that lost the activation race for
 // an actor; the runtime re-routes the call to the winner.
@@ -28,4 +63,43 @@ type wrongSiloError struct {
 
 func (e *wrongSiloError) Error() string {
 	return fmt.Sprintf("core: %s is activated on %s", e.Actor, e.Winner)
+}
+
+// Is marks the wrong-silo race as transient for errors.Is.
+func (e *wrongSiloError) Is(target error) bool { return target == ErrTransient }
+
+// IsWrongSilo reports whether err is the wrong-silo activation race: the
+// addressed silo lost (or never entered) the race and the directory
+// points at the winner. Callers normally never see it — the runtime
+// re-routes internally — but it can surface in the failure chain after
+// retries are exhausted.
+func IsWrongSilo(err error) bool {
+	var w *wrongSiloError
+	return errors.As(err, &w)
+}
+
+// Transient reports whether err is safe to retry. The taxonomy:
+//
+//   - transient: the wrong-silo activation race, transport-level
+//     unreachability (dead connection, deregistered/crashed silo, open
+//     circuit breaker), a cluster with no silos (mid-failover), a fenced
+//     stale activation, and deadline expiry (the work may succeed with a
+//     fresh budget);
+//   - permanent: everything else — unknown kinds, invalid IDs, call
+//     cycles, runtime shutdown, actor panics, and any error an actor's
+//     own handler returned (the turn ran; retrying would re-execute it).
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	if transport.IsUnreachable(err) {
+		return true
+	}
+	if errors.Is(err, ErrNoSilos) || errors.Is(err, ErrStaleActivation) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
 }

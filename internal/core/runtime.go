@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +28,49 @@ type CostFunc func(id ID, msg any) time.Duration
 // ViewProvider supplies the current set of active silos for placement.
 type ViewProvider interface {
 	View() []string
+}
+
+// RetryPolicy configures the self-healing call path: transient failures
+// (see Transient) are retried transparently with exponential backoff and
+// jitter, up to MaxAttempts and within a per-call time budget. The zero
+// value means the defaults; set Disabled to turn transparent retries off.
+type RetryPolicy struct {
+	// Disabled turns off transparent retries (wrong-silo re-routing, an
+	// internal correctness mechanism, still happens).
+	Disabled bool
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 2ms);
+	// it doubles per retry up to MaxBackoff (default 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Jitter is the fraction of each backoff randomized away to
+	// decorrelate retry storms, in [0,1) (default 0.5).
+	Jitter float64
+	// Budget bounds the total time spent retrying one call when the
+	// caller's context has no deadline of its own (default 5s). The
+	// first attempt is never cut short by the budget — only retries are.
+	Budget time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.Jitter <= 0 || p.Jitter >= 1 {
+		p.Jitter = 0.5
+	}
+	if p.Budget <= 0 {
+		p.Budget = 5 * time.Second
+	}
+	return p
 }
 
 // Config configures a Runtime. The zero value is usable: an in-process
@@ -63,6 +107,13 @@ type Config struct {
 	Clock clock.Clock
 	// Metrics receives runtime instrumentation; nil allocates a registry.
 	Metrics *metrics.Registry
+	// Retry configures transparent retries of transient call failures.
+	Retry RetryPolicy
+	// BeforeTurn, when set, runs at the start of every actor turn, inside
+	// the panic-isolation boundary. It exists for fault injection (a hook
+	// that panics exercises the recovery path exactly as an application
+	// bug would); nil adds no hot-path overhead.
+	BeforeTurn func(id ID, msg any)
 }
 
 // Runtime is an actor-oriented database instance: a set of silos, a grain
@@ -70,6 +121,7 @@ type Config struct {
 type Runtime struct {
 	cfg        Config
 	clk        clock.Clock
+	retry      RetryPolicy // cfg.Retry with defaults resolved
 	directory  *directory.Directory
 	metrics    *metrics.Registry
 	stateTable *kvstore.Table
@@ -112,6 +164,7 @@ func New(cfg Config) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:       cfg,
 		clk:       cfg.Clock,
+		retry:     cfg.Retry.withDefaults(),
 		directory: directory.New(),
 		metrics:   cfg.Metrics,
 		kinds:     make(map[string]*kindConfig),
@@ -230,9 +283,38 @@ func (rt *Runtime) RemoveSilo(ctx context.Context, name string) error {
 	// Evict any remaining registrations (activations unregister themselves
 	// during teardown; this catches ones that failed mid-activation).
 	rt.directory.EvictSilo(name)
-	if lt, ok := rt.cfg.Transport.(*transport.Local); ok {
-		lt.Deregister(name)
+	if d, ok := rt.cfg.Transport.(transport.Deregisterer); ok {
+		d.Deregister(name)
 	}
+	return nil
+}
+
+// CrashSilo abruptly kills a silo, simulating process death: nothing is
+// drained or persisted, in-memory activation state is lost, queued and
+// in-flight work fails transient, directory entries are evicted so actors
+// re-activate elsewhere, and the transport stops delivering to the name.
+// Re-adding the same name with AddSilo models a process restart. Compare
+// RemoveSilo, which is a graceful decommission.
+func (rt *Runtime) CrashSilo(name string) error {
+	rt.mu.Lock()
+	s, ok := rt.silos[name]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("core: no silo %q", name)
+	}
+	delete(rt.silos, name)
+	rt.rebuildSiloList()
+	rt.mu.Unlock()
+
+	// Unplug the transport first so no new messages reach the corpse,
+	// then kill the activations and evict their registrations.
+	if d, ok := rt.cfg.Transport.(transport.Deregisterer); ok {
+		d.Deregister(name)
+	}
+	close(s.collectorStop)
+	s.crashAll()
+	rt.directory.EvictSilo(name)
+	rt.metrics.Counter("core.silo_crashes").Inc()
 	return nil
 }
 
@@ -284,7 +366,12 @@ func (rt *Runtime) Tell(ctx context.Context, id ID, msg any) error {
 }
 
 // call is the shared routing path for external callers (callerSilo == "")
-// and actor-to-actor calls.
+// and actor-to-actor calls. It is self-healing: transient failures (see
+// Transient) are retried with exponential backoff and jitter inside a
+// time budget, and a routing target that proves unreachable has its
+// directory entry evicted so the retry re-places the actor on a live
+// silo. Every returned error is classified — Transient(err) answers
+// whether the caller may usefully retry.
 func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, id ID, msg any, needReply bool) (any, error) {
 	if err := id.Validate(); err != nil {
 		return nil, err
@@ -312,46 +399,115 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 	if !needReply {
 		method = "tell"
 	}
+
+	// maxHops bounds the wrong-silo re-route loop: losing the activation
+	// race means the directory already names the winner, so re-routing is
+	// immediate (no backoff) but must not spin forever under pathological
+	// churn.
 	const maxHops = 8
+	pol := rt.retry
+	attempts := pol.MaxAttempts
+	if pol.Disabled {
+		attempts = 1
+	}
+	backoff := pol.BaseBackoff
+	// The retry deadline is armed lazily on the first failure, so the
+	// happy path allocates no timer and pays nothing for the budget.
+	var retryDeadline time.Time
 	var lastErr error
-	for attempt := 0; attempt < maxHops; attempt++ {
-		target := ""
-		if reg, ok := rt.directory.Lookup(id.String()); ok {
-			target = reg.Silo
-		} else {
-			view := rt.view()
-			if len(view) == 0 {
-				return nil, ErrNoSilos
-			}
-			var err error
-			target, err = strat.Place(id.String(), callerSilo, view)
-			if err != nil {
-				return nil, err
-			}
+	hops := 0
+	for attempt := 1; ; {
+		resp, err := rt.routeOnce(ctx, callerSilo, chain, id, msg, strat, method)
+		if err == nil {
+			return resp, nil
 		}
-		req := transport.Request{
-			TargetKind: id.Kind,
-			TargetKey:  id.Key,
-			Method:     method,
-			Payload:    msg,
-			Sender:     callerSilo,
-			Chain:      chain,
-		}
-		// One-way sends also travel as transport calls: the reply just
-		// acknowledges the enqueue, not the turn. This keeps Tell reliable
-		// when the target silo loses an activation race and the message
-		// must be re-routed to the winner.
-		resp, err := rt.cfg.Transport.Call(ctx, target, req)
-		var wrong *wrongSiloError
-		if errors.As(err, &wrong) {
-			// The target silo lost (or never entered) the activation race;
-			// the directory now points at the winner. Retry.
-			lastErr = err
+		lastErr = err
+		if IsWrongSilo(err) {
+			hops++
+			if hops >= maxHops {
+				return nil, fmt.Errorf("core: %s unroutable after %d hops: %w", id, hops, lastErr)
+			}
 			continue
 		}
-		return resp, err
+		if !Transient(err) {
+			return nil, err
+		}
+		attempt++
+		if attempt > attempts {
+			break
+		}
+		if ctx.Err() != nil {
+			// The caller's own deadline or cancellation fired; no retry
+			// can help within this context.
+			break
+		}
+		if retryDeadline.IsZero() {
+			retryDeadline = rt.clk.Now().Add(pol.Budget)
+		} else if rt.clk.Now().After(retryDeadline) {
+			break
+		}
+		rt.metrics.Counter("core.call_retries").Inc()
+		// Equal jitter: sleep in [d*(1-Jitter), d] to decorrelate storms.
+		d := backoff - time.Duration(pol.Jitter*float64(backoff)*rand.Float64())
+		t := rt.clk.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("core: %s retry interrupted: %v: %w", id, ctx.Err(), lastErr)
+		case <-t.C():
+		}
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
 	}
-	return nil, fmt.Errorf("core: %s unroutable after %d attempts: %w", id, maxHops, lastErr)
+	if pol.Disabled {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("core: %s failed after %d attempts: %w", id, attempts, lastErr)
+}
+
+// routeOnce resolves id to a silo (directory hit or fresh placement) and
+// performs one transport delivery. When a directory-resolved target turns
+// out to be unreachable, the stale registration is evicted so the next
+// attempt re-places the actor on a live silo — the heart of routing
+// around a crashed silo.
+func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string) (any, error) {
+	var target string
+	var reg directory.Registration
+	fromDirectory := false
+	if r, ok := rt.directory.Lookup(id.String()); ok {
+		target, reg, fromDirectory = r.Silo, r, true
+	} else {
+		view := rt.view()
+		if len(view) == 0 {
+			return nil, ErrNoSilos
+		}
+		var err error
+		target, err = strat.Place(id.String(), callerSilo, view)
+		if err != nil {
+			return nil, err
+		}
+	}
+	req := transport.Request{
+		TargetKind: id.Kind,
+		TargetKey:  id.Key,
+		Method:     method,
+		Payload:    msg,
+		Sender:     callerSilo,
+		Chain:      chain,
+	}
+	// One-way sends also travel as transport calls: the reply just
+	// acknowledges the enqueue, not the turn. This keeps Tell reliable
+	// when the target silo loses an activation race and the message
+	// must be re-routed to the winner.
+	resp, err := rt.cfg.Transport.Call(ctx, target, req)
+	if err != nil && fromDirectory && transport.IsUnreachable(err) {
+		if rt.directory.Unregister(reg) {
+			rt.metrics.Counter("core.stale_routes_evicted").Inc()
+		}
+	}
+	return resp, err
 }
 
 // reminderLoop polls the reminder table and fires due reminders by calling

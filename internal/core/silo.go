@@ -207,6 +207,24 @@ func (s *Silo) collectIdle() {
 	}
 }
 
+// crashAll abruptly kills every activation: mailboxes close, queued and
+// in-flight work fails transient, and teardown skips hooks and state
+// writes — in-memory state is lost exactly as a process crash would lose
+// it. It does not wait for activation goroutines: a crash is not a drain.
+func (s *Silo) crashAll() {
+	s.mu.Lock()
+	s.closing = true
+	acts := make([]*activation, 0, len(s.catalog))
+	for _, a := range s.catalog {
+		acts = append(acts, a)
+	}
+	s.mu.Unlock()
+	for _, a := range acts {
+		a.crashed.Store(true)
+		a.box.close()
+	}
+}
+
 // drainAll synchronously deactivates every activation (shutdown path).
 func (s *Silo) drainAll(ctx context.Context) error {
 	s.mu.Lock()

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aodb/internal/clock"
@@ -84,6 +85,11 @@ type Options struct {
 	Metrics *metrics.Registry
 }
 
+// WriteFault is a fault-injection hook consulted before every mutation
+// (Put/PutIf/Delete/DeleteIf). Returning a non-nil error fails the write
+// before anything is logged or applied, exactly as a storage outage would.
+type WriteFault func(table, key string) error
+
 // Store is a collection of tables with shared durability.
 type Store struct {
 	mu      sync.RWMutex
@@ -94,6 +100,33 @@ type Store struct {
 	reg     *metrics.Registry
 	closed  bool
 	applied int // WAL records since last snapshot
+
+	// writeFault, when set, is invoked on the write path; nil (the normal
+	// case) costs one atomic pointer load.
+	writeFault atomic.Pointer[WriteFault]
+}
+
+// SetWriteFault installs (or, with nil, removes) a write-fault hook. Safe
+// to call concurrently with writes; intended for chaos and failure tests.
+func (s *Store) SetWriteFault(f WriteFault) {
+	if f == nil {
+		s.writeFault.Store(nil)
+		return
+	}
+	s.writeFault.Store(&f)
+}
+
+// injectWriteFault runs the installed hook, if any, for one write.
+func (s *Store) injectWriteFault(table, key string) error {
+	p := s.writeFault.Load()
+	if p == nil {
+		return nil
+	}
+	if err := (*p)(table, key); err != nil {
+		s.reg.Counter("kvstore.injected_write_faults").Inc()
+		return err
+	}
+	return nil
 }
 
 // Table is a named map of versioned items with provisioned throughput.
@@ -405,6 +438,9 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 	if key == "" {
 		return 0, errors.New("kvstore: empty key")
 	}
+	if err := t.store.injectWriteFault(t.name, key); err != nil {
+		return 0, err
+	}
 	if t.writes != nil {
 		if err := t.writes.Take(ctx, max1(writeUnits(len(value)))); err != nil {
 			return 0, err
@@ -451,6 +487,9 @@ func (t *Table) DeleteIf(ctx context.Context, key string, expect int64) error {
 	if expect <= 0 {
 		return errors.New("kvstore: DeleteIf needs a positive expected version")
 	}
+	if err := t.store.injectWriteFault(t.name, key); err != nil {
+		return err
+	}
 	if t.writes != nil {
 		if err := t.writes.Take(ctx, 1); err != nil {
 			return err
@@ -494,6 +533,9 @@ func (t *Table) Sweep(ctx context.Context) (int, error) {
 // Delete removes key. Deleting a missing key is not an error, matching
 // DynamoDB semantics.
 func (t *Table) Delete(ctx context.Context, key string) error {
+	if err := t.store.injectWriteFault(t.name, key); err != nil {
+		return err
+	}
 	if t.writes != nil {
 		if err := t.writes.Take(ctx, 1); err != nil {
 			return err

@@ -76,6 +76,96 @@ func TestTCPReconnectsAfterPeerRestart(t *testing.T) {
 	}
 }
 
+// TestTCPPeerRestartMidCall: a call is in flight when the peer process
+// dies. The caller must get a transient (unreachable) failure — not a
+// hang, and not an unclassifiable error — and a retry of the same call
+// against the restarted peer must succeed over a fresh connection.
+func TestTCPPeerRestartMidCall(t *testing.T) {
+	caller, err := NewTCP("caller", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	peer1, err := NewTCP("peer", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := peer1.Addr()
+	inFlight := make(chan struct{}, 1)
+	block := make(chan struct{})
+	peer1.Register("peer", func(_ context.Context, req Request) (any, error) {
+		inFlight <- struct{}{}
+		<-block // never released on peer1: the process "dies" mid-turn
+		return testReply{}, nil
+	})
+	caller.SetPeer("peer", addr)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := caller.Call(context.Background(), "peer", Request{Payload: testPayload{7}})
+		errCh <- err
+	}()
+	<-inFlight // the request reached the peer and is executing
+
+	// The peer process restarts while the call waits for its response.
+	// Close tears down connections first, then waits for the parked
+	// dispatch goroutine, so release it concurrently.
+	closeDone := make(chan struct{})
+	go func() { peer1.Close(); close(closeDone) }()
+	var callErr error
+	select {
+	case callErr = <-errCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight call hung through peer restart")
+	}
+	close(block)
+	<-closeDone
+	if callErr == nil {
+		t.Fatal("in-flight call reported success across peer death")
+	}
+	// The failure must classify as transient unreachability so the
+	// runtime's retry layer knows it may retry.
+	if !IsUnreachable(callErr) {
+		t.Fatalf("in-flight failure %v not classified unreachable", callErr)
+	}
+
+	var peer2 *TCP
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		peer2, err = NewTCP("peer", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer peer2.Close()
+	if err := peer2.Register("peer", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+
+	// The retried call succeeds against the restarted peer.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := caller.Call(context.Background(), "peer", Request{Payload: testPayload{7}})
+		if err == nil {
+			if resp.(testReply).N != 14 {
+				t.Fatalf("resp = %v", resp)
+			}
+			return
+		}
+		if !IsUnreachable(err) {
+			t.Fatalf("retry failed with non-transient error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retried call never succeeded: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
 // TestTCPInFlightCallsFailOnConnectionLoss: requests waiting on a
 // connection that dies get errors, not hangs.
 func TestTCPInFlightCallsFailOnConnectionLoss(t *testing.T) {

@@ -181,7 +181,7 @@ func (t *TCP) conn(node string) (*tcpConn, error) {
 	}
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", node, err)
+		return nil, &UnreachableError{Node: node, Err: fmt.Errorf("dial %s: %w", addr, err)}
 	}
 	c := &tcpConn{stream: codec.NewStream(raw), raw: raw, pending: make(map[uint64]chan *codec.Frame)}
 	t.mu.Lock()
@@ -254,7 +254,7 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 	c.mu.Lock()
 	if c.dead != nil {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection to %s failed: %w", node, c.dead)
+		return nil, &UnreachableError{Node: node, Err: fmt.Errorf("connection failed: %w", c.dead)}
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
@@ -273,7 +273,7 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: write to %s: %w", node, err)
+		return nil, &UnreachableError{Node: node, Err: fmt.Errorf("write: %w", err)}
 	}
 	select {
 	case <-ctx.Done():
@@ -283,7 +283,7 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 		return nil, ctx.Err()
 	case f, ok := <-ch:
 		if !ok {
-			return nil, fmt.Errorf("transport: connection to %s closed mid-call", node)
+			return nil, &UnreachableError{Node: node, Err: errors.New("connection closed mid-call")}
 		}
 		if f.Kind == codec.FrameError {
 			return nil, &RemoteError{Node: node, Msg: f.Err}
@@ -319,7 +319,10 @@ func (t *TCP) Send(ctx context.Context, node string, req Request) error {
 		Chain:      req.Chain,
 		Payload:    req.Payload,
 	}
-	return c.stream.Write(frame)
+	if err := c.stream.Write(frame); err != nil {
+		return &UnreachableError{Node: node, Err: fmt.Errorf("write: %w", err)}
+	}
+	return nil
 }
 
 // Close stops the listener and all connections, waiting for in-flight

@@ -53,7 +53,41 @@ type Transport interface {
 var (
 	ErrUnknownNode = errors.New("transport: unknown node")
 	ErrClosed      = errors.New("transport: closed")
+	// ErrCircuitOpen reports a call rejected by an open circuit breaker;
+	// the target silo has been failing and is being routed around.
+	ErrCircuitOpen = errors.New("transport: circuit open")
 )
+
+// Deregisterer is implemented by transports that can take a node out of
+// service at runtime (simulated silo crash, graceful decommission).
+// Wrapper transports forward Deregister to their inner transport.
+type Deregisterer interface {
+	Deregister(node string)
+}
+
+// UnreachableError marks a delivery failure at the transport level — the
+// target node could not be reached at all (dead connection, failed dial,
+// deregistered node), as opposed to an error the target's handler
+// returned. Unreachable failures are transient from the caller's point of
+// view: the node may restart, or the actor may be re-placed elsewhere.
+type UnreachableError struct {
+	Node string
+	Err  error
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("transport: %s unreachable: %v", e.Node, e.Err)
+}
+
+func (e *UnreachableError) Unwrap() error { return e.Err }
+
+// IsUnreachable reports whether err indicates the target node could not
+// be reached at the transport level. Circuit-open rejections count too:
+// they stand in for the unreachability the breaker observed.
+func IsUnreachable(err error) bool {
+	var u *UnreachableError
+	return errors.As(err, &u) || errors.Is(err, ErrCircuitOpen)
+}
 
 // RemoteError wraps an error string that crossed the wire.
 type RemoteError struct {
@@ -119,7 +153,9 @@ func (l *Local) handler(node string) (Handler, error) {
 	}
 	h, ok := l.handlers[node]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+		// A node the local transport does not know is either never-added
+		// or deregistered (simulated crash); both are unreachability.
+		return nil, &UnreachableError{Node: node, Err: fmt.Errorf("%w: %q", ErrUnknownNode, node)}
 	}
 	return h, nil
 }
