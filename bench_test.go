@@ -17,6 +17,7 @@ import (
 	"aodb/internal/capacity"
 	"aodb/internal/core"
 	"aodb/internal/kvstore"
+	"aodb/internal/telemetry"
 )
 
 // figureOpts keeps figure benchmarks short enough for `go test -bench`.
@@ -203,6 +204,53 @@ func BenchmarkActorCallHot(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchHotLoop is the shared body of the telemetry-overhead trio below:
+// the same hot-actor call loop under three tracer configurations, so
+// `go test -bench 'ActorCallHot' -count N` + benchstat quantifies what
+// the subsystem costs (the disabled case must stay within 2% of the
+// baseline — its hot path is one atomic load).
+func benchHotLoop(b *testing.B, tracer *telemetry.Tracer) {
+	rt, err := core.New(core.Config{IdleAfter: time.Hour, CollectEvery: time.Hour, Tracer: tracer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	if err := rt.RegisterKind("Echo", func() core.Actor { return echoActor{} }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.AddSilo("silo-1", nil); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	id := core.ID{Kind: "Echo", Key: "one"}
+	if _, err := rt.Call(ctx, id, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call(ctx, id, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActorCallHotTracerDisabled: tracer installed but switched
+// off — the configuration production runs idle in.
+func BenchmarkActorCallHotTracerDisabled(b *testing.B) {
+	tracer := telemetry.New(telemetry.Config{})
+	tracer.SetEnabled(false)
+	benchHotLoop(b, tracer)
+}
+
+// BenchmarkActorCallHotTraced: every request sampled end to end.
+func BenchmarkActorCallHotTraced(b *testing.B) {
+	benchHotLoop(b, telemetry.New(telemetry.Config{SampleEvery: 1}))
 }
 
 // BenchmarkActorCallParallel measures many goroutines calling many actors.

@@ -33,13 +33,14 @@ func main() {
 	duration := flag.Duration("duration", 8*time.Second, "measurement duration per data point")
 	warmup := flag.Duration("warmup", 0, "warmup to discard (default duration/4)")
 	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
+	trace := flag.Bool("trace", false, "trace every request and print tail-latency attribution (figs 8/9)")
 	flag.Parse()
 
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale}
+	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale, Trace: *trace}
 	ctx := context.Background()
 	if err := run(ctx, *fig, *ablation, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "shmbench:", err)
@@ -72,6 +73,10 @@ func run(ctx context.Context, fig, ablation string, opts bench.FigureOptions) er
 			bench.PrintFigure8(out, results)
 		} else {
 			bench.PrintFigure9(out, results)
+		}
+		if opts.Trace {
+			fmt.Fprintln(out)
+			bench.PrintAttribution(out, results)
 		}
 	case "all":
 		r6, err := bench.Figure6(ctx, opts)

@@ -19,6 +19,7 @@ import (
 	"aodb/internal/core"
 	"aodb/internal/placement"
 	"aodb/internal/shm"
+	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
 
@@ -31,14 +32,20 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "run duration")
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup to discard")
 	queries := flag.Bool("queries", true, "issue live/raw user queries per org")
+	trace := flag.Bool("trace", false, "trace requests end to end and print insert tail attribution")
+	traceSample := flag.Int("trace-sample", 1, "sample every Nth request when tracing")
 	flag.Parse()
 
-	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries); err != nil {
+	var tracer *telemetry.Tracer
+	if *trace {
+		tracer = telemetry.New(telemetry.Config{SampleEvery: uint64(*traceSample), Capacity: 1 << 17})
+	}
+	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries, tracer); err != nil {
 		log.Fatalf("shmload: %v", err)
 	}
 }
 
-func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool) error {
+func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool, tracer *telemetry.Tracer) error {
 	tcp, err := transport.NewTCP(name, listen)
 	if err != nil {
 		return err
@@ -58,6 +65,7 @@ func run(name, listen, silos, peers string, sensors int, duration, warmup time.D
 		Transport: tcp,
 		Placement: hash,
 		View:      cluster.NewStaticView(strings.Split(silos, ",")...),
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -111,6 +119,22 @@ func run(name, listen, silos, peers string, sensors int, duration, warmup time.D
 	}
 	if rec.Errors() > 0 {
 		fmt.Printf("  errors: %d\n", rec.Errors())
+	}
+	if tracer != nil {
+		// The client only holds root spans; per-turn component data lives
+		// on each silo's tracer (serve it with `shmserver -trace
+		// -introspect` and read /trace). From this vantage the whole
+		// request is network+remote time, so the table reports end-to-end
+		// totals and what the self-healing call path absorbed.
+		spans := tracer.Spans()
+		var retries, hops int32
+		for _, sp := range spans {
+			retries += sp.Retries
+			hops += sp.Hops
+		}
+		tab := bench.TailAttribution(spans, bench.ReqInsert, []float64{50, 99, 99.9})
+		fmt.Printf("\ninsert traces: %d sampled (%d retries, %d extra hops absorbed)\n%s",
+			tab.Traces, retries, hops, tab.String())
 	}
 	return nil
 }

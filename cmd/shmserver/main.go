@@ -14,7 +14,15 @@
 //	    -peers silo-1=127.0.0.1:7001,silo-2=127.0.0.1:7002 -sensors 50
 //
 // With -store DIR the silo persists actor state through the WAL-backed
-// kvstore and recovers it on restart.
+// kvstore and recovers it on restart. With -introspect ADDR the silo
+// serves its runtime state over HTTP: /metrics (Prometheus text),
+// /trace (recent sampled spans; ?slow=1 for slow turns), and /actors
+// (per-silo activation and mailbox gauges). -trace enables distributed
+// tracing (-trace-sample N records every Nth request, -slow-turn D
+// flags turns slower than D).
+//
+// SIGINT/SIGTERM shuts down gracefully: the introspection endpoint
+// drains first, then the runtime deactivates (and persists) its actors.
 package main
 
 import (
@@ -22,7 +30,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -33,47 +40,75 @@ import (
 	"aodb/internal/kvstore"
 	"aodb/internal/placement"
 	"aodb/internal/shm"
+	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
 
 func main() {
-	name := flag.String("name", "silo-1", "this silo's cluster-unique name")
-	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
-	silos := flag.String("silos", "silo-1", "comma-separated names of ALL silos (identical on every node)")
-	peers := flag.String("peers", "", "comma-separated name=addr pairs for the other silos")
-	storeDir := flag.String("store", "", "durability directory (empty = in-memory)")
+	cfg := serverConfig{}
+	flag.StringVar(&cfg.name, "name", "silo-1", "this silo's cluster-unique name")
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7001", "TCP listen address")
+	flag.StringVar(&cfg.silos, "silos", "silo-1", "comma-separated names of ALL silos (identical on every node)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated name=addr pairs for the other silos")
+	flag.StringVar(&cfg.storeDir, "store", "", "durability directory (empty = in-memory)")
+	flag.StringVar(&cfg.introspect, "introspect", "", "HTTP introspection listen address (empty = off)")
+	flag.BoolVar(&cfg.trace, "trace", false, "enable distributed tracing")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "sample every Nth request when tracing")
+	flag.DurationVar(&cfg.slowTurn, "slow-turn", 250*time.Millisecond, "flag actor turns slower than this")
 	flag.Parse()
 
-	if err := run(*name, *listen, *silos, *peers, *storeDir); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg); err != nil {
 		log.Fatalf("shmserver: %v", err)
 	}
 }
 
-func run(name, listen, silos, peers, storeDir string) error {
-	tcp, err := transport.NewTCP(name, listen)
+type serverConfig struct {
+	name, listen, silos, peers, storeDir string
+	introspect                           string
+	trace                                bool
+	traceSample                          int
+	slowTurn                             time.Duration
+}
+
+func run(ctx context.Context, cfg serverConfig) error {
+	tcp, err := transport.NewTCP(cfg.name, cfg.listen)
 	if err != nil {
 		return err
 	}
-	for _, pair := range splitPairs(peers) {
+	for _, pair := range splitPairs(cfg.peers) {
 		tcp.SetPeer(pair[0], pair[1])
 	}
+	// Circuit breakers between silos: a dead peer fails fast instead of
+	// stalling every call during its dial timeout.
+	breaker := transport.NewBreaker(tcp, transport.BreakerOptions{})
 
 	var store *kvstore.Store
-	if storeDir != "" {
-		store, err = kvstore.Open(kvstore.Options{Dir: storeDir})
+	if cfg.storeDir != "" {
+		store, err = kvstore.Open(kvstore.Options{Dir: cfg.storeDir})
 		if err != nil {
 			return err
 		}
 		defer store.Close()
 	}
 
+	var tracer *telemetry.Tracer
+	if cfg.trace {
+		tracer = telemetry.New(telemetry.Config{
+			SampleEvery: uint64(cfg.traceSample),
+			SlowTurn:    cfg.slowTurn,
+		})
+	}
+
 	hash := placement.NewConsistentHash()
 	hash.PrefixSep = '@'
 	rt, err := core.New(core.Config{
-		Transport: tcp,
+		Transport: breaker,
 		Placement: hash,
 		Store:     store,
-		View:      cluster.NewStaticView(strings.Split(silos, ",")...),
+		View:      cluster.NewStaticView(strings.Split(cfg.silos, ",")...),
+		Tracer:    tracer,
 	})
 	if err != nil {
 		return err
@@ -85,18 +120,41 @@ func run(name, listen, silos, peers, storeDir string) error {
 	if _, err := shm.NewPlatform(rt, shm.Options{Persist: persist}); err != nil {
 		return err
 	}
-	if _, err := rt.AddSilo(name, nil); err != nil {
+	if _, err := rt.AddSilo(cfg.name, nil); err != nil {
 		return err
 	}
-	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", name, tcp.Addr(), silos)
+	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", cfg.name, tcp.Addr(), cfg.silos)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	// The introspection endpoint shares the signal context: on SIGINT it
+	// drains in-flight scrapes before the runtime goes away underneath it.
+	httpDone := make(chan error, 1)
+	if cfg.introspect != "" {
+		in := &telemetry.Introspection{
+			Registry: rt.Metrics(),
+			Tracer:   tracer,
+			Runtime:  rt,
+			Breakers: breaker.States,
+		}
+		ready := make(chan string, 1)
+		go func() { httpDone <- in.Serve(ctx, cfg.introspect, ready) }()
+		select {
+		case addr := <-ready:
+			fmt.Printf("shmserver: introspection on http://%s\n", addr)
+		case err := <-httpDone:
+			return fmt.Errorf("introspection endpoint: %w", err)
+		}
+	} else {
+		httpDone <- nil
+	}
+
+	<-ctx.Done()
 	fmt.Println("shmserver: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if err := <-httpDone; err != nil {
+		log.Printf("shmserver: introspection shutdown: %v", err)
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	return rt.Shutdown(ctx)
+	return rt.Shutdown(shCtx)
 }
 
 func splitPairs(s string) [][2]string {

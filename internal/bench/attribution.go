@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+
+	"aodb/internal/shm"
+	"aodb/internal/telemetry"
+)
+
+// rootPrefix maps a benchmark request class to the root-span target
+// prefix the tracer records for it (method + " " + actor id). Insert
+// requests enter at the sensor actor, live-data queries at the
+// organization, raw-data queries at a physical channel.
+func rootPrefix(t RequestType) string {
+	switch t {
+	case ReqInsert:
+		return "call " + shm.KindSensor + "/"
+	case ReqLive:
+		return "call " + shm.KindOrganization + "/"
+	case ReqRaw:
+		return "call " + shm.KindPhysicalChannel + "/"
+	default:
+		return ""
+	}
+}
+
+// TailAttribution computes the "where does the tail come from" table for
+// one request class from a run's recorded spans: traces are selected by
+// their root target, decomposed into per-component sums, and the
+// components averaged around each requested latency percentile. This is
+// the analysis behind the Figure 8/9 attribution tables in
+// EXPERIMENTS.md.
+func TailAttribution(spans []telemetry.Span, class RequestType, percentiles []float64) telemetry.AttributionTable {
+	prefix := rootPrefix(class)
+	want := make(map[uint64]bool)
+	for _, sp := range spans {
+		if sp.Kind == telemetry.KindRoot && strings.HasPrefix(sp.Actor, prefix) {
+			want[sp.TraceID] = true
+		}
+	}
+	filtered := make([]telemetry.Span, 0, len(spans))
+	for _, sp := range spans {
+		if want[sp.TraceID] {
+			filtered = append(filtered, sp)
+		}
+	}
+	return telemetry.Attribute(telemetry.BreakdownTraces(filtered), percentiles)
+}

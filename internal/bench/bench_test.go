@@ -10,6 +10,7 @@ import (
 	"aodb/internal/capacity"
 	"aodb/internal/core"
 	"aodb/internal/shm"
+	"aodb/internal/telemetry"
 )
 
 func TestRequestTypeString(t *testing.T) {
@@ -177,6 +178,69 @@ func TestUserQueriesProduceLatencies(t *testing.T) {
 	}
 	if res.Raw.Count == 0 {
 		t.Fatal("no raw-data requests measured")
+	}
+}
+
+// TestTracedRunAttributesTail is the Figure 8/9 acceptance check: a
+// traced run must yield a per-component attribution of the insert
+// request class at p50/p99/p99.9, with the simulated-CPU service time
+// visible and every component non-negative.
+func TestTracedRunAttributesTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load test")
+	}
+	tracer := telemetry.New(telemetry.Config{SampleEvery: 1})
+	res, err := RunSHM(context.Background(), SHMConfig{
+		Sensors:     200,
+		Silos:       1,
+		Profile:     capacity.M5XLarge,
+		Scale:       10, // 20 sensors, 10x per-turn cost: CPU burn dominates
+		Duration:    3 * time.Second,
+		Warmup:      time.Second,
+		UserQueries: true,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attribution == nil {
+		t.Fatal("traced run produced no attribution table")
+	}
+	tab := *res.Attribution
+	if tab.Traces == 0 {
+		t.Fatal("no insert traces decomposed")
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want p50/p99/p99.9", len(tab.Rows))
+	}
+	for i, want := range []float64{50, 99, 99.9} {
+		row := tab.Rows[i]
+		if row.Percentile != want {
+			t.Fatalf("row %d percentile = %g, want %g", i, row.Percentile, want)
+		}
+		if row.Total <= 0 || row.Window < 1 || row.Dominant == "" {
+			t.Fatalf("p%g row = %+v", want, row)
+		}
+		for _, d := range []time.Duration{row.Mailbox, row.CPUWait, row.CPUBurn,
+			row.Exec, row.StoreRead, row.StoreWrite, row.Network} {
+			if d < 0 {
+				t.Fatalf("p%g has negative component: %+v", want, row)
+			}
+		}
+	}
+	// With the scaled cost model, insert turns burn simulated CPU: the
+	// attribution must see it at the median.
+	if tab.Rows[0].CPUBurn <= 0 {
+		t.Fatalf("p50 CPUBurn = %v, want > 0 under the cost model", tab.Rows[0].CPUBurn)
+	}
+	// Percentile totals are window-averaged but must stay ordered.
+	if tab.Rows[0].Total > tab.Rows[1].Total || tab.Rows[1].Total > tab.Rows[2].Total {
+		t.Fatalf("percentile totals not monotone: %+v", tab.Rows)
+	}
+	// The live/raw classes were also driven; their tables must be
+	// computable from the same span store.
+	if live := TailAttribution(tracer.Spans(), ReqLive, []float64{50}); live.Traces == 0 {
+		t.Fatal("no live-data traces decomposed")
 	}
 }
 

@@ -95,6 +95,19 @@ func PrintFigure9(w io.Writer, results []SHMResult) {
 }
 
 // PrintPlacement renders the placement ablation.
+// PrintAttribution renders the insert-class tail-latency component
+// tables of a traced figure run (one table per data point).
+func PrintAttribution(w io.Writer, results []SHMResult) {
+	fmt.Fprintln(w, "Tail-latency attribution — insert-request components per percentile")
+	for _, r := range results {
+		if r.Attribution == nil {
+			continue
+		}
+		fmt.Fprintf(w, "\n%d sensors (%d traces):\n%s", r.Sensors*r.Config.Scale,
+			r.Attribution.Traces, r.Attribution.String())
+	}
+}
+
 func PrintPlacement(w io.Writer, results []PlacementResult) {
 	fmt.Fprintln(w, "Ablation C — activation placement (4 silos, SameAZ network)")
 	tw := newTable(w)

@@ -12,6 +12,7 @@ import (
 	"aodb/internal/netsim"
 	"aodb/internal/placement"
 	"aodb/internal/shm"
+	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
 
@@ -39,6 +40,10 @@ type SHMConfig struct {
 	Store           *kvstore.Store
 	WriteEveryBatch bool
 	Seed            int64
+	// Tracer, when non-nil, is installed on the runtime so the run
+	// records spans; the result then carries the insert-class tail
+	// attribution at p50/p99/p99.9.
+	Tracer *telemetry.Tracer
 }
 
 // SHMResult is one experiment data point.
@@ -56,6 +61,9 @@ type SHMResult struct {
 	LocalCalls    int64
 	RemoteCalls   int64
 	Activations   int
+	// Attribution is the insert-request tail-latency component table,
+	// present when the run was traced (Config.Tracer non-nil).
+	Attribution *telemetry.AttributionTable
 }
 
 func (c *SHMConfig) fill() error {
@@ -124,6 +132,7 @@ func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
 		// grains hot in memory.
 		IdleAfter:    time.Hour,
 		CollectEvery: time.Hour,
+		Tracer:       cfg.Tracer,
 	})
 	if err != nil {
 		return SHMResult{}, err
@@ -190,7 +199,7 @@ func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
 			activations += s.Activations()
 		}
 	}
-	return SHMResult{
+	res := SHMResult{
 		Config:        cfg,
 		Sensors:       sensors,
 		Orgs:          pop.Orgs(),
@@ -203,7 +212,12 @@ func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
 		LocalCalls:    localCalls,
 		RemoteCalls:   remoteCalls,
 		Activations:   activations,
-	}, nil
+	}
+	if cfg.Tracer != nil {
+		tab := TailAttribution(cfg.Tracer.Spans(), ReqInsert, []float64{50, 99, 99.9})
+		res.Attribution = &tab
+	}
+	return res, nil
 }
 
 // FigureOptions tune how long each data point runs.
@@ -212,6 +226,20 @@ type FigureOptions struct {
 	Warmup   time.Duration
 	// Scale for throughput-only figures on small hosts (see package doc).
 	Scale int
+	// Trace samples every request through a per-data-point tracer so the
+	// latency-percentile figures also report component attribution.
+	Trace bool
+}
+
+// figureTracer builds the per-data-point tracer for traced figure runs:
+// every request sampled, ring sized so a full data point fits without
+// overwriting (overwritten turns would undercount their trace's
+// components).
+func figureTracer(trace bool) *telemetry.Tracer {
+	if !trace {
+		return nil
+	}
+	return telemetry.New(telemetry.Config{SampleEvery: 1, Capacity: 1 << 17})
 }
 
 func (o *FigureOptions) fill() {
@@ -291,6 +319,7 @@ func Figures8And9(ctx context.Context, opts FigureOptions) ([]SHMResult, error) 
 			Duration:    opts.Duration,
 			Warmup:      opts.Warmup,
 			UserQueries: true,
+			Tracer:      figureTracer(opts.Trace),
 		})
 		if err != nil {
 			return out, fmt.Errorf("bench: figures 8/9 at %d sensors: %w", sensors, err)

@@ -96,18 +96,42 @@ func NewLimiter(p Profile, clk clock.Clock) *Limiter {
 // Profile returns the simulated instance profile.
 func (l *Limiter) Profile() Profile { return l.profile }
 
+// TurnTiming receives the limiter's latency decomposition for one turn:
+// SlotWait is time queued for a worker slot (simulated CPU contention),
+// Burn the simulated CPU service time actually slept. Telemetry passes a
+// TurnTiming only for sampled turns, so the unsampled path stays free of
+// extra clock reads.
+type TurnTiming struct {
+	SlotWait time.Duration
+	Burn     time.Duration
+}
+
 // Execute runs fn after charging cost of simulated CPU on one worker slot.
 // Zero-cost work still takes a slot, bounding true concurrency. It blocks
 // while all slots are busy — that queueing delay is the latency the paper's
 // percentile figures measure.
 func (l *Limiter) Execute(ctx context.Context, cost time.Duration, fn func() error) error {
+	return l.ExecuteTimed(ctx, cost, fn, nil)
+}
+
+// ExecuteTimed is Execute with an optional timing probe: when tm is
+// non-nil the slot wait and simulated burn are measured into it. A nil
+// tm adds no clock reads to the path.
+func (l *Limiter) ExecuteTimed(ctx context.Context, cost time.Duration, fn func() error, tm *TurnTiming) error {
 	if l == nil {
 		return fn()
+	}
+	var waitStart time.Time
+	if tm != nil {
+		waitStart = l.clk.Now()
 	}
 	select {
 	case l.slots <- struct{}{}:
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+	if tm != nil {
+		tm.SlotWait = l.clk.Since(waitStart)
 	}
 	defer func() { <-l.slots }()
 	if cost > 0 {
@@ -129,6 +153,9 @@ func (l *Limiter) Execute(ctx context.Context, cost time.Duration, fn func() err
 				t.Stop()
 				return ctx.Err()
 			case <-t.C():
+			}
+			if tm != nil {
+				tm.Burn = l.clk.Since(start)
 			}
 			if over := l.clk.Since(start) - burn; over > 0 {
 				l.creditMu.Lock()

@@ -42,8 +42,14 @@ type Frame struct {
 	Method     string
 	Sender     string
 	Chain      []string // synchronous call chain, for cycle detection
-	Payload    any
-	Err        string // set when Kind == FrameError
+	// Trace context riding the frame: the sender's trace and span ids
+	// plus the sampling bit. Plain fields (not a struct from the
+	// telemetry package) keep the wire codec dependency-free.
+	TraceID      uint64
+	ParentSpan   uint64
+	TraceSampled bool
+	Payload      any
+	Err          string // set when Kind == FrameError
 }
 
 // Stream frames gob values over an io.ReadWriter. Writes are serialized;

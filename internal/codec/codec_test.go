@@ -43,6 +43,37 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceFieldsRoundTrip: the trace context piggybacked on request
+// frames survives encode/decode, and frames without one stay zeroed.
+func TestTraceFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	frames := []*Frame{
+		{ID: 1, Kind: FrameRequest, Payload: ping{Seq: 1},
+			TraceID: 0xdeadbeef, ParentSpan: 77, TraceSampled: true},
+		{ID: 2, Kind: FrameOneWay, Payload: ping{Seq: 2}},
+	}
+	for _, f := range frames {
+		if err := s.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traced, err := s.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.TraceID != 0xdeadbeef || traced.ParentSpan != 77 || !traced.TraceSampled {
+		t.Fatalf("traced frame = %+v", traced)
+	}
+	plain, err := s.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceID != 0 || plain.ParentSpan != 0 || plain.TraceSampled {
+		t.Fatalf("untraced frame carries trace fields: %+v", plain)
+	}
+}
+
 func TestErrorFrame(t *testing.T) {
 	var buf bytes.Buffer
 	s := NewStream(&buf)

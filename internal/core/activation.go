@@ -10,8 +10,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aodb/internal/capacity"
 	"aodb/internal/directory"
 	"aodb/internal/kvstore"
+	"aodb/internal/telemetry"
 )
 
 // activation is one in-memory instance of a virtual actor, owned by a
@@ -33,6 +35,11 @@ type activation struct {
 	// that survived a simulated silo crash mid-turn) can never clobber
 	// its successor's state. Only touched on the mailbox goroutine.
 	stateVersion int64
+
+	// cur is the span of the turn currently executing, when that turn is
+	// sampled. Set and cleared by the mailbox goroutine; Context methods
+	// and the kvstore instrumentation read it via a.context.
+	cur *telemetry.Span
 
 	timersMu sync.Mutex
 	timers   map[string]func() // name -> stop
@@ -128,10 +135,36 @@ func (a *activation) turn(env envelope) (panicked error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One enabled check covers both the always-on per-kind stats and the
+	// sampled-path span; disabled tracing pays nothing further.
+	tr := a.silo.rt.tracer
+	var sp *telemetry.Span
+	var tm *capacity.TurnTiming
+	var turnStart time.Time
+	if tr.Enabled() {
+		turnStart = a.silo.rt.clk.Now()
+		if sp = tr.StartTurn(env.trace, a.id.String(), a.silo.name); sp != nil {
+			sp.Remote = env.remote
+			if !env.enqueuedAt.IsZero() {
+				sp.Mailbox = turnStart.Sub(env.enqueuedAt)
+			}
+			tm = new(capacity.TurnTiming)
+			a.cur = sp
+		}
+	}
 	cost := a.silo.rt.costOf(a.id, env.msg)
-	err := a.silo.limiter.Execute(ctx, cost, func() error {
+	var turnErr error
+	err := a.silo.limiter.ExecuteTimed(ctx, cost, func() error {
 		cctx := a.context(ctx, env.chain)
+		var execStart time.Time
+		if sp != nil {
+			execStart = a.silo.rt.clk.Now()
+		}
 		v, err := a.invoke(cctx, env.msg)
+		if sp != nil {
+			sp.Exec = a.silo.rt.clk.Since(execStart)
+		}
+		turnErr = err
 		if perr, ok := err.(*PanicError); ok {
 			panicked = perr
 			v = nil
@@ -140,9 +173,21 @@ func (a *activation) turn(env envelope) (panicked error) {
 			env.reply <- turnResult{val: v, err: err}
 		}
 		return nil
-	})
+	}, tm)
 	if err != nil {
 		env.fail(err)
+		if turnErr == nil {
+			turnErr = err
+		}
+	}
+	if sp != nil {
+		sp.CPUWait = tm.SlotWait
+		sp.CPUBurn = tm.Burn
+		a.cur = nil
+		tr.Finish(sp, turnErr)
+	}
+	if !turnStart.IsZero() {
+		tr.ObserveTurn(a.id.Kind, a.silo.rt.clk.Since(turnStart))
 	}
 	a.silo.metrics.Counter("core.turns").Inc()
 	return panicked
@@ -207,6 +252,11 @@ func (a *activation) teardownHooks() {
 }
 
 func (a *activation) context(ctx context.Context, chain []string) *Context {
+	if a.cur != nil {
+		// Carry the turn's span in the context so the kvstore layer can
+		// attribute storage time without importing core.
+		ctx = telemetry.WithSpan(ctx, a.cur)
+	}
 	return &Context{Context: ctx, rt: a.silo.rt, silo: a.silo, self: a.id, act: a, chain: chain}
 }
 

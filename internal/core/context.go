@@ -8,6 +8,7 @@ import (
 	"aodb/internal/clock"
 	"aodb/internal/kvstore"
 	"aodb/internal/systemstore"
+	"aodb/internal/telemetry"
 )
 
 // Context is passed to every actor turn. It carries the caller's
@@ -39,13 +40,33 @@ func (c *Context) Clock() clock.Clock { return c.rt.clk }
 // the synchronous call chain and fails fast with ErrCallCycle on re-entry,
 // since a cycle would deadlock the single-threaded mailboxes involved.
 func (c *Context) Call(id ID, msg any) (any, error) {
-	return c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, true)
+	trace, sp, start := c.childTrace()
+	v, err := c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, true, trace)
+	if sp != nil {
+		sp.AddNested(c.rt.clk.Since(start))
+	}
+	return v, err
 }
 
 // Tell sends a one-way message to another actor.
 func (c *Context) Tell(id ID, msg any) error {
-	_, err := c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, false)
+	trace, sp, start := c.childTrace()
+	_, err := c.rt.call(c.Context, c.silo.name, append(c.chainCopy(), c.self.String()), id, msg, false, trace)
+	if sp != nil {
+		sp.AddNested(c.rt.clk.Since(start))
+	}
 	return err
+}
+
+// childTrace returns the trace context outgoing calls from this turn
+// should carry, plus the current span and start time for nested-time
+// accounting. All zero when the turn is unsampled.
+func (c *Context) childTrace() (telemetry.SpanContext, *telemetry.Span, time.Time) {
+	sp := c.act.cur
+	if sp == nil {
+		return telemetry.SpanContext{}, nil, time.Time{}
+	}
+	return sp.ChildContext(), sp, c.rt.clk.Now()
 }
 
 func (c *Context) chainCopy() []string {

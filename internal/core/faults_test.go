@@ -128,15 +128,18 @@ func TestPanicFailsQueuedCallsTransient(t *testing.T) {
 	}()
 	waitForActive(t, rt, 1)
 
-	queued := make(chan error, 1)
-	go func() {
-		_, err := rt.Call(ctx, id, getMsg{})
-		queued <- err
-	}()
+	// Enqueue the bomb first and wait for it, so the mailbox order is
+	// deterministic: panic turn, then the call that must see the poison.
 	bombed := make(chan error, 1)
 	go func() {
 		_, err := rt.Call(ctx, id, panicMsg{})
 		bombed <- err
+	}()
+	waitForQueued(t, rt, id, 1)
+	queued := make(chan error, 1)
+	go func() {
+		_, err := rt.Call(ctx, id, getMsg{})
+		queued <- err
 	}()
 	waitForQueued(t, rt, id, 2)
 	close(gate) // release the held turn; the panic turn runs next

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"sort"
+
+	"aodb/internal/telemetry"
+)
+
+// IntrospectionSnapshot produces the runtime-gauges view served by the
+// telemetry HTTP endpoint: per-silo activation counts (total and by
+// kind), mailbox backlog, and capacity utilization. It is pull-based —
+// computed on demand from live structures — so keeping the endpoint up
+// adds nothing to the message hot path. Runtime implements
+// telemetry.RuntimeSource.
+func (rt *Runtime) IntrospectionSnapshot() telemetry.RuntimeSnapshot {
+	rt.mu.RLock()
+	silos := make([]*Silo, 0, len(rt.silos))
+	for _, s := range rt.silos {
+		silos = append(silos, s)
+	}
+	rt.mu.RUnlock()
+	sort.Slice(silos, func(i, j int) bool { return silos[i].name < silos[j].name })
+	snap := telemetry.RuntimeSnapshot{Silos: make([]telemetry.SiloStats, 0, len(silos))}
+	for _, s := range silos {
+		snap.Silos = append(snap.Silos, s.stats())
+	}
+	return snap
+}
+
+// stats snapshots one silo's live gauges.
+func (s *Silo) stats() telemetry.SiloStats {
+	st := telemetry.SiloStats{Name: s.name, Utilization: -1}
+	s.mu.Lock()
+	st.Activations = len(s.catalog)
+	if len(s.catalog) > 0 {
+		st.ByKind = make(map[string]int)
+	}
+	acts := make([]*activation, 0, len(s.catalog))
+	for id, act := range s.catalog {
+		st.ByKind[id.Kind]++
+		acts = append(acts, act)
+	}
+	s.mu.Unlock()
+	// Mailbox depths are read outside the catalog lock: each mailbox has
+	// its own mutex and the turn path takes it on every message.
+	for _, act := range acts {
+		d := act.box.depth()
+		st.MailboxDepth += d
+		if d > st.MailboxMax {
+			st.MailboxMax = d
+		}
+	}
+	if s.limiter != nil {
+		p := s.limiter.Profile()
+		st.Utilization = float64(s.limiter.InUse()) / float64(p.Workers)
+	}
+	return st
+}

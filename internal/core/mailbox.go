@@ -3,6 +3,9 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
+
+	"aodb/internal/telemetry"
 )
 
 // envelope is one queued message for an activation.
@@ -12,6 +15,12 @@ type envelope struct {
 	reply chan turnResult // nil for one-way sends
 	chain []string        // synchronous call chain, for cycle detection
 	timer bool            // timer ticks do not refresh the idle clock
+
+	// Tracing context, populated only while the runtime's tracer is
+	// enabled (zero otherwise, costing nothing).
+	trace      telemetry.SpanContext
+	enqueuedAt time.Time // when the message entered the mailbox (sampled only)
+	remote     bool      // arrived over a cross-silo or external hop
 }
 
 type turnResult struct {
@@ -92,6 +101,13 @@ func (m *mailbox) close() {
 	defer m.mu.Unlock()
 	m.closed = true
 	m.cond.Broadcast()
+}
+
+// depth reports the number of queued messages, for introspection gauges.
+func (m *mailbox) depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.q)
 }
 
 // empty reports whether the queue is currently drained.

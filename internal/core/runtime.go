@@ -16,6 +16,7 @@ import (
 	"aodb/internal/metrics"
 	"aodb/internal/placement"
 	"aodb/internal/systemstore"
+	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
 
@@ -114,6 +115,10 @@ type Config struct {
 	// that panics exercises the recovery path exactly as an application
 	// bug would); nil adds no hot-path overhead.
 	BeforeTurn func(id ID, msg any)
+	// Tracer enables distributed tracing and runtime introspection. Nil
+	// (or a disabled tracer) costs one nil-or-atomic check per message,
+	// mirroring the internal/faults contract.
+	Tracer *telemetry.Tracer
 }
 
 // Runtime is an actor-oriented database instance: a set of silos, a grain
@@ -124,6 +129,7 @@ type Runtime struct {
 	retry      RetryPolicy // cfg.Retry with defaults resolved
 	directory  *directory.Directory
 	metrics    *metrics.Registry
+	tracer     *telemetry.Tracer // nil = tracing off
 	stateTable *kvstore.Table
 	reminders  *systemstore.Store
 
@@ -167,6 +173,7 @@ func New(cfg Config) (*Runtime, error) {
 		retry:     cfg.Retry.withDefaults(),
 		directory: directory.New(),
 		metrics:   cfg.Metrics,
+		tracer:    cfg.Tracer,
 		kinds:     make(map[string]*kindConfig),
 		silos:     make(map[string]*Silo),
 	}
@@ -346,6 +353,9 @@ func (rt *Runtime) costOf(id ID, msg any) time.Duration {
 // Metrics exposes the runtime's instrument registry.
 func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
 
+// Tracer exposes the runtime's tracer; nil when tracing is not configured.
+func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
+
 // Clock exposes the runtime clock.
 func (rt *Runtime) Clock() clock.Clock { return rt.clk }
 
@@ -355,13 +365,13 @@ func (rt *Runtime) Directory() *directory.Directory { return rt.directory }
 // Call sends msg to the actor named id and waits for its reply. The call
 // activates the actor if needed, according to the kind's placement.
 func (rt *Runtime) Call(ctx context.Context, id ID, msg any) (any, error) {
-	return rt.call(ctx, "", nil, id, msg, true)
+	return rt.call(ctx, "", nil, id, msg, true, telemetry.SpanContext{})
 }
 
 // Tell sends msg one-way: it is delivered through the actor's mailbox but
 // no reply is awaited.
 func (rt *Runtime) Tell(ctx context.Context, id ID, msg any) error {
-	_, err := rt.call(ctx, "", nil, id, msg, false)
+	_, err := rt.call(ctx, "", nil, id, msg, false, telemetry.SpanContext{})
 	return err
 }
 
@@ -372,7 +382,7 @@ func (rt *Runtime) Tell(ctx context.Context, id ID, msg any) error {
 // directory entry evicted so the retry re-places the actor on a live
 // silo. Every returned error is classified — Transient(err) answers
 // whether the caller may usefully retry.
-func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, id ID, msg any, needReply bool) (any, error) {
+func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, id ID, msg any, needReply bool, trace telemetry.SpanContext) (any, error) {
 	if err := id.Validate(); err != nil {
 		return nil, err
 	}
@@ -400,6 +410,27 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 		method = "tell"
 	}
 
+	// External entry points (not actor-to-actor hops) are where traces
+	// begin: the tracer's head sampler decides whether this request is
+	// followed through the cluster. Actor-to-actor calls arrive with the
+	// parent turn's context in trace and never re-sample.
+	var root *telemetry.Span
+	if callerSilo == "" && !trace.Sampled && rt.tracer.Enabled() {
+		trace, root = rt.tracer.StartRoot(method + " " + id.String())
+	}
+	resp, retries, hops, err := rt.callLoop(ctx, callerSilo, chain, id, msg, strat, method, trace)
+	if root != nil {
+		root.Retries = int32(retries)
+		root.Hops = int32(hops)
+		rt.tracer.Finish(root, err)
+	}
+	return resp, err
+}
+
+// callLoop is the self-healing delivery loop behind call, reporting how
+// many transparent retries and wrong-silo re-routes the delivery needed
+// so root spans can attribute them.
+func (rt *Runtime) callLoop(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string, trace telemetry.SpanContext) (resp any, retries, hops int, err error) {
 	// maxHops bounds the wrong-silo re-route loop: losing the activation
 	// race means the directory already names the winner, so re-routing is
 	// immediate (no backoff) but must not spin forever under pathological
@@ -415,22 +446,21 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 	// happy path allocates no timer and pays nothing for the budget.
 	var retryDeadline time.Time
 	var lastErr error
-	hops := 0
 	for attempt := 1; ; {
-		resp, err := rt.routeOnce(ctx, callerSilo, chain, id, msg, strat, method)
+		resp, err := rt.routeOnce(ctx, callerSilo, chain, id, msg, strat, method, trace)
 		if err == nil {
-			return resp, nil
+			return resp, retries, hops, nil
 		}
 		lastErr = err
 		if IsWrongSilo(err) {
 			hops++
 			if hops >= maxHops {
-				return nil, fmt.Errorf("core: %s unroutable after %d hops: %w", id, hops, lastErr)
+				return nil, retries, hops, fmt.Errorf("core: %s unroutable after %d hops: %w", id, hops, lastErr)
 			}
 			continue
 		}
 		if !Transient(err) {
-			return nil, err
+			return nil, retries, hops, err
 		}
 		attempt++
 		if attempt > attempts {
@@ -446,6 +476,7 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 		} else if rt.clk.Now().After(retryDeadline) {
 			break
 		}
+		retries++
 		rt.metrics.Counter("core.call_retries").Inc()
 		// Equal jitter: sleep in [d*(1-Jitter), d] to decorrelate storms.
 		d := backoff - time.Duration(pol.Jitter*float64(backoff)*rand.Float64())
@@ -453,7 +484,7 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 		select {
 		case <-ctx.Done():
 			t.Stop()
-			return nil, fmt.Errorf("core: %s retry interrupted: %v: %w", id, ctx.Err(), lastErr)
+			return nil, retries, hops, fmt.Errorf("core: %s retry interrupted: %v: %w", id, ctx.Err(), lastErr)
 		case <-t.C():
 		}
 		backoff *= 2
@@ -462,9 +493,9 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 		}
 	}
 	if pol.Disabled {
-		return nil, lastErr
+		return nil, retries, hops, lastErr
 	}
-	return nil, fmt.Errorf("core: %s failed after %d attempts: %w", id, attempts, lastErr)
+	return nil, retries, hops, fmt.Errorf("core: %s failed after %d attempts: %w", id, attempts, lastErr)
 }
 
 // routeOnce resolves id to a silo (directory hit or fresh placement) and
@@ -472,7 +503,7 @@ func (rt *Runtime) call(ctx context.Context, callerSilo string, chain []string, 
 // out to be unreachable, the stale registration is evicted so the next
 // attempt re-places the actor on a live silo — the heart of routing
 // around a crashed silo.
-func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string) (any, error) {
+func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string, trace telemetry.SpanContext) (any, error) {
 	var target string
 	var reg directory.Registration
 	fromDirectory := false
@@ -496,6 +527,7 @@ func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []str
 		Payload:    msg,
 		Sender:     callerSilo,
 		Chain:      chain,
+		Trace:      trace,
 	}
 	// One-way sends also travel as transport calls: the reply just
 	// acknowledges the enqueue, not the turn. This keeps Tell reliable

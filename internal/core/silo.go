@@ -12,6 +12,7 @@ import (
 	"aodb/internal/directory"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
+	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
 
@@ -59,12 +60,15 @@ func (s *Silo) Activations() int {
 // actors this silo should host.
 func (s *Silo) handle(ctx context.Context, req transport.Request) (any, error) {
 	id := ID{Kind: req.TargetKind, Key: req.TargetKey}
-	return s.deliver(ctx, id, req.Payload, req.Method != "tell", req.Chain)
+	// An empty sender is an external client; both that and another silo's
+	// name count as a remote hop for trace attribution.
+	remote := req.Sender != s.name
+	return s.deliver(ctx, id, req.Payload, req.Method != "tell", req.Chain, req.Trace, remote)
 }
 
 // deliver routes one message to the actor's activation, creating it if
 // needed, and waits for the reply when needReply is set.
-func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chain []string) (any, error) {
+func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chain []string, trace telemetry.SpanContext, remote bool) (any, error) {
 	var reply chan turnResult
 	turnCtx := ctx
 	if needReply {
@@ -75,6 +79,15 @@ func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chai
 		turnCtx = context.WithoutCancel(ctx)
 	}
 	env := envelope{ctx: turnCtx, msg: msg, reply: reply, chain: chain}
+	if s.rt.tracer.Enabled() { // the one check disabled telemetry costs here
+		env.trace = trace
+		env.remote = remote
+		if trace.Sampled {
+			// The enqueue timestamp feeds the span's mailbox-wait
+			// component; only sampled messages pay the clock read.
+			env.enqueuedAt = s.rt.clk.Now()
+		}
+	}
 	for {
 		act, err := s.resolve(ctx, id)
 		if err != nil {

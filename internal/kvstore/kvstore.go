@@ -36,6 +36,7 @@ import (
 	"aodb/internal/clock"
 	"aodb/internal/metrics"
 	"aodb/internal/ratelimit"
+	"aodb/internal/telemetry"
 	"aodb/internal/wal"
 )
 
@@ -384,6 +385,13 @@ func max1(u float64) float64 {
 
 // Get returns the item stored under key, waiting for read capacity first.
 func (t *Table) Get(ctx context.Context, key string) (Item, error) {
+	if sp := telemetry.SpanFrom(ctx); sp != nil {
+		// Attribute the whole call — including provisioned-throughput
+		// waits, which are exactly the "storage throttling" component the
+		// tail-attribution table wants to expose — to the active span.
+		start := t.store.clk.Now()
+		defer func() { sp.AddStoreRead(t.store.clk.Since(start)) }()
+	}
 	if t.reads != nil {
 		// Charge a minimum of one unit before knowing the size; DynamoDB
 		// charges by the size actually read, so charge the remainder after.
@@ -437,6 +445,10 @@ func (t *Table) PutIf(ctx context.Context, key string, value []byte, expect int6
 func (t *Table) put(ctx context.Context, key string, value []byte, expect int64, ttl time.Duration) (int64, error) {
 	if key == "" {
 		return 0, errors.New("kvstore: empty key")
+	}
+	if sp := telemetry.SpanFrom(ctx); sp != nil {
+		start := t.store.clk.Now()
+		defer func() { sp.AddStoreWrite(t.store.clk.Since(start)) }()
 	}
 	if err := t.store.injectWriteFault(t.name, key); err != nil {
 		return 0, err

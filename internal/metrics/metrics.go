@@ -293,6 +293,47 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Counters returns a point-in-time copy of every counter value, keyed by
+// name. Exporters (the telemetry introspection endpoint) use this rather
+// than parsing Dump output.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns a point-in-time copy of every gauge value, keyed by name.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Histograms returns a snapshot of every histogram, keyed by name.
+func (r *Registry) Histograms() map[string]Snapshot {
+	r.mu.Lock()
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	// Snapshot outside the registry lock: each snapshot copies the full
+	// bucket array and must not serialize recorders behind the registry.
+	out := make(map[string]Snapshot, len(hists))
+	for name, h := range hists {
+		out[name] = h.Snapshot()
+	}
+	return out
+}
+
 // Dump renders every metric in the registry, sorted by name, one per line.
 func (r *Registry) Dump() string {
 	r.mu.Lock()

@@ -205,6 +205,129 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestPercentileDegenerateArguments(t *testing.T) {
+	empty := NewHistogram().Snapshot()
+	for _, p := range []float64{-10, 0, 50, 100, 250} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty p%g = %d, want 0", p, got)
+		}
+	}
+	h := NewHistogram()
+	h.Record(500)
+	h.Record(1500)
+	s := h.Snapshot()
+	// Out-of-range percentiles clamp to the observed extremes instead of
+	// indexing outside the buckets.
+	if got := s.Percentile(-1); got != s.Min {
+		t.Fatalf("p-1 = %d, want Min %d", got, s.Min)
+	}
+	if got := s.Percentile(1000); got != s.Max {
+		t.Fatalf("p1000 = %d, want Max %d", got, s.Max)
+	}
+}
+
+// TestHistogramConcurrentRecordSnapshot hammers Record while another
+// goroutine snapshots: under -race this proves readers never see torn
+// state, and every snapshot must be internally consistent.
+func TestHistogramConcurrentRecordSnapshot(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Record(int64(rng.Intn(1 << 24)))
+				}
+			}
+		}(int64(i))
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count < 0 {
+			t.Fatalf("negative count %d", s.Count)
+		}
+		if s.Count > 0 {
+			p50, p99 := s.Percentile(50), s.Percentile(99)
+			if s.Min > p50 || p50 > p99 || s.Min > s.Max {
+				t.Fatalf("inconsistent snapshot: min=%d p50=%d p99=%d max=%d",
+					s.Min, p50, p99, s.Max)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if final := h.Snapshot(); final.Count != h.Count() {
+		t.Fatalf("final snapshot count %d != %d", final.Count, h.Count())
+	}
+}
+
+func TestRegistryEnumeration(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(1)
+	r.Counter("b").Add(2)
+	r.Gauge("g").Set(-7)
+	r.Histogram("h").Record(1000)
+
+	cs := r.Counters()
+	if len(cs) != 2 || cs["a"] != 1 || cs["b"] != 2 {
+		t.Fatalf("Counters() = %+v", cs)
+	}
+	gs := r.Gauges()
+	if len(gs) != 1 || gs["g"] != -7 {
+		t.Fatalf("Gauges() = %+v", gs)
+	}
+	hs := r.Histograms()
+	if len(hs) != 1 || hs["h"].Count != 1 {
+		t.Fatalf("Histograms() = %+v", hs)
+	}
+	// Enumeration returns copies: mutating them must not touch the registry.
+	cs["a"] = 99
+	if r.Counter("a").Value() != 1 {
+		t.Fatal("Counters() aliases registry state")
+	}
+	if got := NewRegistry().Counters(); len(got) != 0 {
+		t.Fatalf("empty registry Counters() = %+v", got)
+	}
+}
+
+// TestRegistryConcurrentAccess mixes instrument creation, updates, and
+// enumeration across goroutines (meaningful under -race).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("lat").Record(int64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 200; j++ {
+			_ = r.Counters()
+			_ = r.Gauges()
+			_ = r.Histograms()
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 2000 {
+		t.Fatalf("shared counter = %d, want 2000", got)
+	}
+}
+
 func TestRegistryReusesInstruments(t *testing.T) {
 	r := NewRegistry()
 	if r.Counter("a") != r.Counter("a") {

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Breakdown decomposes one sampled request (one trace) into the latency
+// components the paper's Figure 8/9 analysis wants to attribute:
+//
+//	Mailbox   Σ mailbox queueing across every turn in the trace
+//	CPUWait   Σ capacity-slot (simulated CPU contention) waits
+//	CPUBurn   Σ simulated CPU service time
+//	Exec      Σ handler self time (net of nested calls and storage)
+//	StoreRead / StoreWrite  Σ storage time incl. throttling waits
+//	Network   the residual: end-to-end minus everything above — transport
+//	          latency, encode/decode, retry backoff, and scheduling slop
+//
+// Components are sums over turns, so for fan-out requests (live-data
+// queries call channels concurrently) they can exceed wall time; Network
+// is clamped at zero in that case.
+type Breakdown struct {
+	TraceID uint64
+	Target  string // the root request's target actor id
+	Total   time.Duration
+	Turns   int
+
+	Mailbox    time.Duration
+	CPUWait    time.Duration
+	CPUBurn    time.Duration
+	Exec       time.Duration
+	StoreRead  time.Duration
+	StoreWrite time.Duration
+	Network    time.Duration
+}
+
+func (b Breakdown) components() time.Duration {
+	return b.Mailbox + b.CPUWait + b.CPUBurn + b.Exec + b.StoreRead + b.StoreWrite
+}
+
+// BreakdownTraces groups spans by trace id and computes one Breakdown
+// per complete trace (one that still has its root span in the store).
+// Traces whose root errored are skipped: their latency is a timeout
+// artifact, not a component story.
+func BreakdownTraces(spans []Span) []Breakdown {
+	type group struct {
+		root  *Span
+		turns []Span
+	}
+	groups := make(map[uint64]*group)
+	for i := range spans {
+		sp := &spans[i]
+		g := groups[sp.TraceID]
+		if g == nil {
+			g = &group{}
+			groups[sp.TraceID] = g
+		}
+		switch sp.Kind {
+		case KindRoot:
+			g.root = sp
+		case KindTurn:
+			g.turns = append(g.turns, *sp)
+		}
+	}
+	out := make([]Breakdown, 0, len(groups))
+	for id, g := range groups {
+		if g.root == nil || g.root.Err != "" {
+			continue
+		}
+		b := Breakdown{
+			TraceID: id,
+			Target:  g.root.Actor,
+			Total:   g.root.Dur,
+			Turns:   len(g.turns),
+		}
+		for _, t := range g.turns {
+			b.Mailbox += t.Mailbox
+			b.CPUWait += t.CPUWait
+			b.CPUBurn += t.CPUBurn
+			b.Exec += t.ExecSelf()
+			b.StoreRead += t.StoreRead
+			b.StoreWrite += t.StoreWrite
+		}
+		if net := b.Total - b.components(); net > 0 {
+			b.Network = net
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Total < out[j].Total })
+	return out
+}
+
+// AttributionRow is one percentile's component attribution: the mean of
+// each component over the traces whose end-to-end latency sits at that
+// percentile (a small window around the rank, so p99.9 is not a single
+// noisy trace).
+type AttributionRow struct {
+	Percentile float64
+	Total      time.Duration
+	Window     int // traces averaged
+
+	Mailbox    time.Duration
+	CPUWait    time.Duration
+	CPUBurn    time.Duration
+	Exec       time.Duration
+	StoreRead  time.Duration
+	StoreWrite time.Duration
+	Network    time.Duration
+
+	// Dominant names the largest component — the tail's headline cause.
+	Dominant string
+}
+
+// AttributionTable is the "where does the tail come from" table for one
+// request class.
+type AttributionTable struct {
+	Traces int
+	Rows   []AttributionRow
+}
+
+// componentNames orders the component columns everywhere they render.
+var componentNames = []string{"mailbox", "cpu-wait", "cpu-burn", "exec", "store-read", "store-write", "network"}
+
+func (r *AttributionRow) component(name string) time.Duration {
+	switch name {
+	case "mailbox":
+		return r.Mailbox
+	case "cpu-wait":
+		return r.CPUWait
+	case "cpu-burn":
+		return r.CPUBurn
+	case "exec":
+		return r.Exec
+	case "store-read":
+		return r.StoreRead
+	case "store-write":
+		return r.StoreWrite
+	case "network":
+		return r.Network
+	default:
+		return 0
+	}
+}
+
+// Attribute computes the attribution table at the given percentiles from
+// per-trace breakdowns (as returned by BreakdownTraces; must be sorted
+// by Total, which BreakdownTraces guarantees).
+func Attribute(bds []Breakdown, percentiles []float64) AttributionTable {
+	tab := AttributionTable{Traces: len(bds)}
+	if len(bds) == 0 {
+		return tab
+	}
+	n := len(bds)
+	for _, p := range percentiles {
+		rank := int(float64(n)*p/100+0.5) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= n {
+			rank = n - 1
+		}
+		// Average a ±1% window around the rank so high percentiles are
+		// not a single noisy trace.
+		half := n / 100
+		lo, hi := rank-half, rank+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= n {
+			hi = n - 1
+		}
+		row := AttributionRow{Percentile: p, Window: hi - lo + 1}
+		for i := lo; i <= hi; i++ {
+			b := bds[i]
+			row.Total += b.Total
+			row.Mailbox += b.Mailbox
+			row.CPUWait += b.CPUWait
+			row.CPUBurn += b.CPUBurn
+			row.Exec += b.Exec
+			row.StoreRead += b.StoreRead
+			row.StoreWrite += b.StoreWrite
+			row.Network += b.Network
+		}
+		w := time.Duration(row.Window)
+		row.Total /= w
+		row.Mailbox /= w
+		row.CPUWait /= w
+		row.CPUBurn /= w
+		row.Exec /= w
+		row.StoreRead /= w
+		row.StoreWrite /= w
+		row.Network /= w
+		best := ""
+		var bestV time.Duration = -1
+		for _, name := range componentNames {
+			if v := row.component(name); v > bestV {
+				best, bestV = name, v
+			}
+		}
+		row.Dominant = best
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab
+}
+
+// String renders the table in the markdown shape EXPERIMENTS.md uses.
+func (t AttributionTable) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| pctile | total | mailbox | cpu-wait | cpu-burn | exec | store-read | store-write | network | dominant |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| p%g | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+			r.Percentile, fmtDur(r.Total), fmtDur(r.Mailbox), fmtDur(r.CPUWait),
+			fmtDur(r.CPUBurn), fmtDur(r.Exec), fmtDur(r.StoreRead),
+			fmtDur(r.StoreWrite), fmtDur(r.Network), r.Dominant)
+	}
+	return b.String()
+}
+
+// fmtDur rounds to keep the table legible.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Microsecond).String()
+	}
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// trace builds one synthetic two-turn trace with a known decomposition.
+func trace(id uint64, total time.Duration) []Span {
+	return []Span{
+		{TraceID: id, SpanID: id*10 + 1, Kind: KindRoot, Actor: "call Sensor/1", Dur: total},
+		{
+			TraceID: id, SpanID: id*10 + 2, Parent: id*10 + 1, Kind: KindTurn,
+			Mailbox: 2 * ms, CPUWait: 3 * ms, CPUBurn: 5 * ms,
+			Exec: 10 * ms, Nested: 4 * ms, StoreRead: 1 * ms, StoreWrite: 2 * ms,
+		},
+		{
+			TraceID: id, SpanID: id*10 + 3, Parent: id*10 + 2, Kind: KindTurn,
+			CPUBurn: 4 * ms, Exec: 4 * ms,
+		},
+	}
+}
+
+func TestBreakdownTraces(t *testing.T) {
+	spans := trace(1, 30*ms)
+	bds := BreakdownTraces(spans)
+	if len(bds) != 1 {
+		t.Fatalf("breakdowns = %+v", bds)
+	}
+	b := bds[0]
+	if b.TraceID != 1 || b.Target != "call Sensor/1" || b.Turns != 2 || b.Total != 30*ms {
+		t.Fatalf("breakdown = %+v", b)
+	}
+	// Turn 1 ExecSelf = 10-4-1-2 = 3ms; turn 2 ExecSelf = 4ms.
+	if b.Mailbox != 2*ms || b.CPUWait != 3*ms || b.CPUBurn != 9*ms ||
+		b.Exec != 7*ms || b.StoreRead != 1*ms || b.StoreWrite != 2*ms {
+		t.Fatalf("components = %+v", b)
+	}
+	// Network residual: 30 - (2+3+9+7+1+2) = 6ms.
+	if b.Network != 6*ms {
+		t.Fatalf("network = %v, want 6ms", b.Network)
+	}
+}
+
+func TestBreakdownSkipsIncompleteAndErroredTraces(t *testing.T) {
+	spans := trace(1, 30*ms)
+	// Trace 2: root errored (latency is a timeout artifact).
+	spans = append(spans, Span{TraceID: 2, SpanID: 21, Kind: KindRoot, Dur: time.Second, Err: "deadline"})
+	// Trace 3: orphan turns whose root the ring already overwrote.
+	spans = append(spans, Span{TraceID: 3, SpanID: 31, Kind: KindTurn, Exec: ms})
+	bds := BreakdownTraces(spans)
+	if len(bds) != 1 || bds[0].TraceID != 1 {
+		t.Fatalf("breakdowns = %+v", bds)
+	}
+}
+
+func TestBreakdownClampsNetworkForFanout(t *testing.T) {
+	// Components exceed wall time (concurrent fan-out): Network must be 0.
+	spans := []Span{
+		{TraceID: 1, SpanID: 11, Kind: KindRoot, Actor: "call Org/0", Dur: 5 * ms},
+		{TraceID: 1, SpanID: 12, Kind: KindTurn, Exec: 4 * ms},
+		{TraceID: 1, SpanID: 13, Kind: KindTurn, Exec: 4 * ms},
+	}
+	bds := BreakdownTraces(spans)
+	if len(bds) != 1 || bds[0].Network != 0 {
+		t.Fatalf("breakdowns = %+v", bds)
+	}
+}
+
+func TestAttributeTable(t *testing.T) {
+	// 100 traces: latency i+1 ms, dominated by cpu-burn except the top
+	// few, which are dominated by mailbox queueing.
+	var bds []Breakdown
+	for i := 0; i < 100; i++ {
+		total := time.Duration(i+1) * ms
+		b := Breakdown{TraceID: uint64(i + 1), Total: total, Turns: 1, CPUBurn: ms}
+		if i >= 97 {
+			b.Mailbox = total - ms
+		}
+		bds = append(bds, b)
+	}
+	tab := Attribute(bds, []float64{50, 99, 99.9})
+	if tab.Traces != 100 || len(tab.Rows) != 3 {
+		t.Fatalf("table = %+v", tab)
+	}
+	p50, p99, p999 := tab.Rows[0], tab.Rows[1], tab.Rows[2]
+	if p50.Dominant != "cpu-burn" {
+		t.Fatalf("p50 dominant = %q", p50.Dominant)
+	}
+	if p99.Dominant != "mailbox" || p999.Dominant != "mailbox" {
+		t.Fatalf("tail dominants = %q / %q, want mailbox", p99.Dominant, p999.Dominant)
+	}
+	if p50.Total >= p99.Total || p99.Total > p999.Total {
+		t.Fatalf("percentile totals not monotone: %v %v %v", p50.Total, p99.Total, p999.Total)
+	}
+	if p99.Window < 2 {
+		t.Fatalf("p99 window = %d, want averaging window > 1", p99.Window)
+	}
+
+	out := tab.String()
+	for _, want := range []string{"| pctile |", "| p50 |", "| p99.9 |", "mailbox"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttributeEmpty(t *testing.T) {
+	tab := Attribute(nil, []float64{50, 99})
+	if tab.Traces != 0 || len(tab.Rows) != 0 {
+		t.Fatalf("table = %+v", tab)
+	}
+}

@@ -1,0 +1,23 @@
+package telemetry
+
+import "context"
+
+type spanKey struct{}
+
+// WithSpan returns a context carrying the active turn span, so layers
+// below the actor runtime (storage, transports) can attribute their time
+// to it without an explicit dependency on the runtime.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFrom returns the active span carried by ctx, or nil. The nil case
+// is one context Value lookup — cheap enough for storage-op granularity,
+// and never on the per-message hot path.
+func SpanFrom(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"aodb/internal/metrics"
+)
+
+// RuntimeSnapshot is a point-in-time view of a runtime's silos and
+// activations, produced on demand by core.Runtime.IntrospectionSnapshot
+// so live gauges cost nothing on the message hot path.
+type RuntimeSnapshot struct {
+	Silos []SiloStats `json:"silos"`
+}
+
+// SiloStats describes one silo's live state.
+type SiloStats struct {
+	Name        string         `json:"name"`
+	Activations int            `json:"activations"`
+	ByKind      map[string]int `json:"by_kind,omitempty"`
+	// MailboxDepth is the total queued-message backlog across the
+	// silo's activations; MailboxMax the deepest single mailbox.
+	MailboxDepth int `json:"mailbox_depth"`
+	MailboxMax   int `json:"mailbox_max"`
+	// Utilization is busy-capacity-slots / total-slots, in [0,1];
+	// -1 when the silo has no capacity limiter.
+	Utilization float64 `json:"utilization"`
+}
+
+// BreakerState is one per-target circuit breaker's operator view,
+// produced by transport.Breaker.States.
+type BreakerState struct {
+	Node     string `json:"node"`
+	State    string `json:"state"` // "closed", "open", "half-open"
+	Failures int    `json:"failures"`
+	Trips    int64  `json:"trips"`
+}
+
+// RuntimeSource is implemented by core.Runtime.
+type RuntimeSource interface {
+	IntrospectionSnapshot() RuntimeSnapshot
+}
+
+// Introspection serves the runtime-observability HTTP surface:
+//
+//	/metrics  Prometheus text format: registry counters/gauges/histogram
+//	          quantiles, per-kind turn stats, silo gauges, breaker states
+//	/trace    recent sampled spans as JSON (?limit=N, ?slow=1)
+//	/actors   the activation catalog snapshot as JSON
+//
+// Every field is optional; nil sources simply do not contribute.
+type Introspection struct {
+	Registry *metrics.Registry
+	Tracer   *Tracer
+	Runtime  RuntimeSource
+	// Breakers supplies circuit-breaker states (transport.Breaker.States
+	// fits; a func field keeps telemetry free of a transport dependency).
+	Breakers func() []BreakerState
+}
+
+// Handler returns the introspection mux.
+func (in *Introspection) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", in.serveMetrics)
+	mux.HandleFunc("/trace", in.serveTrace)
+	mux.HandleFunc("/actors", in.serveActors)
+	return mux
+}
+
+// Serve listens on addr and serves the introspection surface until ctx
+// is cancelled, then drains in-flight requests gracefully (5s bound).
+// It returns once shutdown completes. ready, when non-nil, receives the
+// bound address (useful with ":0") before serving starts.
+func (in *Introspection) Serve(ctx context.Context, addr string, ready chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	srv := &http.Server{Handler: in.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close()
+			return err
+		}
+		<-done // Serve has returned http.ErrServerClosed
+		return nil
+	case err := <-done:
+		return err
+	}
+}
+
+// promName sanitizes a metric name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func (in *Introspection) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	if in.Registry != nil {
+		counters := in.Registry.Counters()
+		for _, name := range sortedKeys(counters) {
+			n := "aodb_" + promName(name)
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", n, n, counters[name])
+		}
+		gauges := in.Registry.Gauges()
+		for _, name := range sortedKeys(gauges) {
+			n := "aodb_" + promName(name)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", n, n, gauges[name])
+		}
+		hists := in.Registry.Histograms()
+		names := make([]string, 0, len(hists))
+		for name := range hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := hists[name]
+			n := "aodb_" + promName(name)
+			fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+			for _, q := range []float64{50, 90, 99, 99.9} {
+				fmt.Fprintf(&b, "%s{quantile=\"%g\"} %d\n", n, q/100, s.Percentile(q))
+			}
+			fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", n, s.Sum, n, s.Count)
+		}
+	}
+	if in.Tracer != nil {
+		fmt.Fprintf(&b, "# TYPE aodb_trace_spans_recorded counter\naodb_trace_spans_recorded %d\n", in.Tracer.Recorded())
+		fmt.Fprintf(&b, "# TYPE aodb_trace_slow_turns counter\naodb_trace_slow_turns %d\n", in.Tracer.SlowTurns())
+		stats := in.Tracer.KindStats()
+		sort.Slice(stats, func(i, j int) bool { return stats[i].Kind < stats[j].Kind })
+		for _, ks := range stats {
+			k := promName(ks.Kind)
+			fmt.Fprintf(&b, "aodb_kind_turns{kind=%q} %d\n", k, ks.Turns)
+			fmt.Fprintf(&b, "aodb_kind_slow_turns{kind=%q} %d\n", k, ks.SlowTurns)
+			fmt.Fprintf(&b, "aodb_kind_turn_nanos{kind=%q} %d\n", k, ks.TurnNanos)
+		}
+	}
+	if in.Runtime != nil {
+		snap := in.Runtime.IntrospectionSnapshot()
+		for _, s := range snap.Silos {
+			n := promName(s.Name)
+			fmt.Fprintf(&b, "aodb_silo_activations{silo=%q} %d\n", n, s.Activations)
+			fmt.Fprintf(&b, "aodb_silo_mailbox_depth{silo=%q} %d\n", n, s.MailboxDepth)
+			fmt.Fprintf(&b, "aodb_silo_mailbox_max{silo=%q} %d\n", n, s.MailboxMax)
+			if s.Utilization >= 0 {
+				fmt.Fprintf(&b, "aodb_silo_utilization{silo=%q} %g\n", n, s.Utilization)
+			}
+			for _, kind := range sortedKeys(s.ByKind) {
+				fmt.Fprintf(&b, "aodb_silo_kind_activations{silo=%q,kind=%q} %d\n",
+					n, promName(kind), s.ByKind[kind])
+			}
+		}
+	}
+	if in.Breakers != nil {
+		states := in.Breakers()
+		sort.Slice(states, func(i, j int) bool { return states[i].Node < states[j].Node })
+		for _, st := range states {
+			// closed=0 open=1 half-open=2 for alertable gauges.
+			code := 0
+			switch st.State {
+			case "open":
+				code = 1
+			case "half-open":
+				code = 2
+			}
+			fmt.Fprintf(&b, "aodb_breaker_state{node=%q} %d\n", promName(st.Node), code)
+			fmt.Fprintf(&b, "aodb_breaker_failures{node=%q} %d\n", promName(st.Node), st.Failures)
+			fmt.Fprintf(&b, "aodb_breaker_trips{node=%q} %d\n", promName(st.Node), st.Trips)
+		}
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (in *Introspection) serveTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if in.Tracer == nil {
+		_, _ = w.Write([]byte("[]"))
+		return
+	}
+	var spans []Span
+	if r.URL.Query().Get("slow") != "" {
+		spans = in.Tracer.SlowSpans()
+	} else {
+		spans = in.Tracer.Spans()
+	}
+	if limStr := r.URL.Query().Get("limit"); limStr != "" {
+		if lim, err := strconv.Atoi(limStr); err == nil && lim >= 0 && lim < len(spans) {
+			spans = spans[len(spans)-lim:] // newest spans live at the end
+		}
+	}
+	writeJSON(w, spans)
+}
+
+func (in *Introspection) serveActors(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if in.Runtime == nil {
+		_, _ = w.Write([]byte("{}"))
+		return
+	}
+	writeJSON(w, in.Runtime.IntrospectionSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,441 @@
+// Package telemetry is the runtime's distributed-tracing and
+// introspection layer: trace contexts that ride message envelopes across
+// silos, per-turn spans with component sub-timings (mailbox wait,
+// simulated-CPU wait and burn, handler execution, storage reads/writes),
+// a bounded in-memory span store with deterministic head-based sampling,
+// a slow-turn detector, and the tail-latency attribution used by the
+// Figure 8/9 experiments to answer "where does the p99.9 come from".
+//
+// The design contract mirrors internal/faults: a nil *Tracer (or a
+// disabled one) costs exactly one nil-or-atomic check at each
+// instrumentation point, so production hot paths pay nothing when
+// telemetry is off. When enabled, every turn feeds cheap per-kind
+// counters and the slow-turn detector; full component spans are recorded
+// only for sampled traces. Sampling is head-based and deterministic: the
+// root of every Nth external request is sampled (no RNG), so two runs
+// over the same request sequence trace the same requests.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aodb/internal/clock"
+)
+
+// SpanContext is the trace identity that crosses silo boundaries inside
+// message envelopes. SpanID names the sender's span — the receiver's turn
+// span records it as its parent and mints its own id. The zero value
+// means "not sampled, no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// SpanKind distinguishes the two span shapes the runtime emits.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	// KindRoot is the client-side span around one external Runtime.Call
+	// or Tell: its Dur is the end-to-end latency the benchmark recorder
+	// sees, and its Retries/Hops count the self-healing work the call
+	// needed.
+	KindRoot SpanKind = iota + 1
+	// KindTurn is one actor turn on a silo, with component sub-timings.
+	KindTurn
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case KindRoot:
+		return "root"
+	case KindTurn:
+		return "turn"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one recorded trace span. Turn spans decompose their duration
+// into the components the latency-percentile experiments care about:
+//
+//	Mailbox    time queued in the activation's mailbox before the turn
+//	CPUWait    time waiting for a capacity (simulated-CPU) worker slot
+//	CPUBurn    simulated CPU service time charged by the capacity model
+//	Exec       real handler execution time (includes Nested and Store*)
+//	Nested     time blocked inside nested actor Calls/Tells
+//	StoreRead  kvstore read time (including provisioned-throughput waits)
+//	StoreWrite kvstore write time (ditto)
+//
+// The accumulating fields are written with atomic adds so helpers called
+// from storage or nested-call paths can never race the turn goroutine.
+type Span struct {
+	TraceID uint64
+	SpanID  uint64
+	Parent  uint64 // 0 for roots
+	Kind    SpanKind
+	Actor   string // actor id for turns; target id for roots
+	Silo    string // hosting silo for turns; empty for client roots
+	Remote  bool   // turn arrived over a cross-silo (or external) hop
+	Start   time.Time
+	Dur     time.Duration
+
+	Mailbox    time.Duration
+	CPUWait    time.Duration
+	CPUBurn    time.Duration
+	Exec       time.Duration
+	Nested     time.Duration
+	StoreRead  time.Duration
+	StoreWrite time.Duration
+
+	Retries int32 // root only: transparent retries the call needed
+	Hops    int32 // root: wrong-silo re-routes; turn: nested calls issued
+	Err     string
+}
+
+func addDur(p *time.Duration, d time.Duration) {
+	atomic.AddInt64((*int64)(p), int64(d))
+}
+
+// AddStoreRead attributes kvstore read time to the span.
+func (s *Span) AddStoreRead(d time.Duration) {
+	if s == nil {
+		return
+	}
+	addDur(&s.StoreRead, d)
+}
+
+// AddStoreWrite attributes kvstore write time to the span.
+func (s *Span) AddStoreWrite(d time.Duration) {
+	if s == nil {
+		return
+	}
+	addDur(&s.StoreWrite, d)
+}
+
+// AddNested attributes time spent blocked in a nested actor call and
+// counts the hop.
+func (s *Span) AddNested(d time.Duration) {
+	if s == nil {
+		return
+	}
+	addDur(&s.Nested, d)
+	atomic.AddInt32(&s.Hops, 1)
+}
+
+// ChildContext returns the trace context nested calls issued from this
+// span should carry: same trace, this span as parent.
+func (s *Span) ChildContext() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true}
+}
+
+// ExecSelf is handler time net of nested calls and storage — the turn's
+// own computation.
+func (s Span) ExecSelf() time.Duration {
+	self := s.Exec - s.Nested - s.StoreRead - s.StoreWrite
+	if self < 0 {
+		return 0
+	}
+	return self
+}
+
+// Config tunes a Tracer. The zero value samples every root request,
+// keeps 16384 spans, and flags turns slower than 250ms.
+type Config struct {
+	// SampleEvery samples the root of every Nth external request
+	// (default 1 = every request). Sampling is a modulo over an atomic
+	// counter — deterministic, no RNG.
+	SampleEvery uint64
+	// Capacity bounds the span store (default 16384); the oldest spans
+	// are overwritten first.
+	Capacity int
+	// SlowTurn is the slow-turn detector threshold (default 250ms).
+	// Every turn is checked while the tracer is enabled, sampled or not.
+	SlowTurn time.Duration
+	// SlowCapacity bounds the retained slow-turn spans (default 128).
+	SlowCapacity int
+	// Seed salts span/trace id generation so distinct processes mint
+	// distinct ids (default 1).
+	Seed int64
+	// Clock times spans; nil means the real clock. Tests use clock.Fake
+	// for deterministic component timings.
+	Clock clock.Clock
+}
+
+// KindStats is a snapshot of the always-on per-actor-kind turn counters.
+type KindStats struct {
+	Kind      string
+	Turns     int64
+	SlowTurns int64
+	TurnNanos int64 // summed turn wall time
+}
+
+type kindStat struct {
+	turns atomic.Int64
+	slow  atomic.Int64
+	nanos atomic.Int64
+}
+
+// Tracer makes sampling decisions, mints ids, and stores completed
+// spans. All methods are safe on a nil receiver (tracing off) and safe
+// for concurrent use.
+type Tracer struct {
+	cfg     Config
+	clk     clock.Clock
+	enabled atomic.Bool
+
+	seq    atomic.Uint64 // root-request counter driving head sampling
+	ids    atomic.Uint64 // id counter, mixed through splitmix64
+	idBase uint64
+
+	store *spanRing
+	slow  *spanRing
+
+	recorded  atomic.Int64
+	slowCount atomic.Int64
+
+	kinds sync.Map // kind string -> *kindStat
+}
+
+// New returns an enabled tracer for cfg.
+func New(cfg Config) *Tracer {
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 1
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 16384
+	}
+	if cfg.SlowTurn <= 0 {
+		cfg.SlowTurn = 250 * time.Millisecond
+	}
+	if cfg.SlowCapacity <= 0 {
+		cfg.SlowCapacity = 128
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	t := &Tracer{
+		cfg:    cfg,
+		clk:    cfg.Clock,
+		idBase: splitmix64(uint64(cfg.Seed)),
+		store:  newSpanRing(cfg.Capacity),
+		slow:   newSpanRing(cfg.SlowCapacity),
+	}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether instrumentation should run. This is the one
+// check disabled telemetry costs on the hot path.
+func (t *Tracer) Enabled() bool {
+	return t != nil && t.enabled.Load()
+}
+
+// SetEnabled toggles the tracer without losing recorded spans.
+func (t *Tracer) SetEnabled(v bool) {
+	if t == nil {
+		return
+	}
+	t.enabled.Store(v)
+}
+
+// Clock exposes the tracer's clock so instrumentation points time spans
+// consistently with the runtime.
+func (t *Tracer) Clock() clock.Clock {
+	if t == nil {
+		return clock.Real()
+	}
+	return t.clk
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective mixer that
+// turns a sequential counter into well-distributed ids.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) nextID() uint64 {
+	id := splitmix64(t.idBase + t.ids.Add(1))
+	if id == 0 {
+		id = 1 // 0 means "no span"
+	}
+	return id
+}
+
+// StartRoot makes the head-based sampling decision for one external
+// request against target. When sampled it returns the trace context to
+// send and the live root span; otherwise span is nil and the context is
+// unsampled. Callers must Finish the span.
+func (t *Tracer) StartRoot(target string) (SpanContext, *Span) {
+	if !t.Enabled() {
+		return SpanContext{}, nil
+	}
+	n := t.seq.Add(1)
+	if (n-1)%t.cfg.SampleEvery != 0 {
+		return SpanContext{}, nil
+	}
+	sp := &Span{
+		TraceID: t.nextID(),
+		SpanID:  t.nextID(),
+		Kind:    KindRoot,
+		Actor:   target,
+		Start:   t.clk.Now(),
+	}
+	return SpanContext{TraceID: sp.TraceID, SpanID: sp.SpanID, Sampled: true}, sp
+}
+
+// StartTurn opens a turn span under parent for one actor turn hosted on
+// silo. Returns nil when parent is unsampled or the tracer is off.
+func (t *Tracer) StartTurn(parent SpanContext, actor, silo string) *Span {
+	if !t.Enabled() || !parent.Sampled {
+		return nil
+	}
+	return &Span{
+		TraceID: parent.TraceID,
+		SpanID:  t.nextID(),
+		Parent:  parent.SpanID,
+		Kind:    KindTurn,
+		Actor:   actor,
+		Silo:    silo,
+		Start:   t.clk.Now(),
+	}
+}
+
+// Finish stamps the span's duration and records it. Safe on nil spans so
+// instrumentation can call it unconditionally on the sampled path.
+func (t *Tracer) Finish(sp *Span, err error) {
+	if t == nil || sp == nil {
+		return
+	}
+	sp.Dur = t.clk.Since(sp.Start)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	t.recorded.Add(1)
+	t.store.push(*sp)
+	if sp.Kind == KindTurn && sp.Dur >= t.cfg.SlowTurn {
+		t.slowCount.Add(1)
+		t.slow.push(*sp)
+	}
+}
+
+// ObserveTurn feeds the always-on per-kind stats and the slow-turn
+// detector. It is called for every turn (sampled or not) while the
+// tracer is enabled.
+func (t *Tracer) ObserveTurn(kind string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	v, ok := t.kinds.Load(kind)
+	if !ok {
+		v, _ = t.kinds.LoadOrStore(kind, &kindStat{})
+	}
+	st := v.(*kindStat)
+	st.turns.Add(1)
+	st.nanos.Add(int64(d))
+	if d >= t.cfg.SlowTurn {
+		st.slow.Add(1)
+	}
+}
+
+// KindStats snapshots the per-kind turn counters, sorted by kind name at
+// the caller's leisure (map iteration order is not stable).
+func (t *Tracer) KindStats() []KindStats {
+	if t == nil {
+		return nil
+	}
+	var out []KindStats
+	t.kinds.Range(func(k, v any) bool {
+		st := v.(*kindStat)
+		out = append(out, KindStats{
+			Kind:      k.(string),
+			Turns:     st.turns.Load(),
+			SlowTurns: st.slow.Load(),
+			TurnNanos: st.nanos.Load(),
+		})
+		return true
+	})
+	return out
+}
+
+// Spans returns the stored spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.store.snapshot()
+}
+
+// SlowSpans returns the retained slow-turn spans, oldest first.
+func (t *Tracer) SlowSpans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.slow.snapshot()
+}
+
+// Recorded returns how many spans have been recorded (including ones the
+// bounded store has since overwritten).
+func (t *Tracer) Recorded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.recorded.Load()
+}
+
+// SlowTurns returns how many turns exceeded the slow-turn threshold on
+// the sampled path.
+func (t *Tracer) SlowTurns() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.slowCount.Load()
+}
+
+// spanRing is a bounded overwrite-oldest span buffer.
+type spanRing struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int
+	total int
+}
+
+func newSpanRing(capacity int) *spanRing {
+	return &spanRing{buf: make([]Span, capacity)}
+}
+
+func (r *spanRing) push(sp Span) {
+	r.mu.Lock()
+	r.buf[r.next] = sp
+	r.next = (r.next + 1) % len(r.buf)
+	if r.total < len(r.buf) {
+		r.total++
+	}
+	r.mu.Unlock()
+}
+
+func (r *spanRing) snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.total)
+	start := r.next - r.total
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.total; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aodb/internal/clock"
+	"aodb/internal/telemetry"
 )
 
 // BreakerOptions tunes the per-target circuit breakers.
@@ -31,6 +32,7 @@ const (
 type breakerNode struct {
 	state    int
 	failures int
+	trips    int64
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
 }
@@ -141,6 +143,7 @@ func (b *Breaker) record(node string, err error) {
 	if n.state == stateHalfOpen || n.failures >= b.opts.FailureThreshold {
 		if n.state != stateOpen {
 			b.trips++
+			n.trips++
 		}
 		n.state = stateOpen
 		n.openedAt = b.opts.Clock.Now()
@@ -174,6 +177,38 @@ func (b *Breaker) Send(ctx context.Context, node string, req Request) error {
 	err := b.inner.Send(ctx, node, req)
 	b.record(node, err)
 	return err
+}
+
+// States reports every tracked node's breaker state, failure streak, and
+// trip count for operator introspection (the telemetry /metrics surface
+// exports these as aodb_breaker_* gauges). Nodes that never failed have
+// no entry: they are closed by construction.
+func (b *Breaker) States() []telemetry.BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]telemetry.BreakerState, 0, len(b.nodes))
+	for node, n := range b.nodes {
+		state := "closed"
+		switch n.state {
+		case stateOpen:
+			// An open breaker past its cooldown admits the next call as
+			// a probe; report the state the next caller will see.
+			if b.opts.Clock.Since(n.openedAt) < b.opts.Cooldown {
+				state = "open"
+			} else {
+				state = "half-open"
+			}
+		case stateHalfOpen:
+			state = "half-open"
+		}
+		out = append(out, telemetry.BreakerState{
+			Node:     node,
+			State:    state,
+			Failures: n.failures,
+			Trips:    n.trips,
+		})
+	}
+	return out
 }
 
 // Open reports whether node's circuit is currently open (rejecting).

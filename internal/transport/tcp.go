@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"aodb/internal/codec"
+	"aodb/internal/telemetry"
 )
 
 // TCP is a transport for real multi-process deployments. Each endpoint
@@ -143,6 +144,11 @@ func (t *TCP) dispatch(stream *codec.Stream, f *codec.Frame) {
 		Payload:    f.Payload,
 		Sender:     f.Sender,
 		Chain:      f.Chain,
+		Trace: telemetry.SpanContext{
+			TraceID: f.TraceID,
+			SpanID:  f.ParentSpan,
+			Sampled: f.TraceSampled,
+		},
 	}
 	var resp any
 	var err error
@@ -260,14 +266,17 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 	c.mu.Unlock()
 
 	frame := &codec.Frame{
-		ID:         id,
-		Kind:       codec.FrameRequest,
-		TargetKind: req.TargetKind,
-		TargetKey:  req.TargetKey,
-		Method:     req.Method,
-		Sender:     req.Sender,
-		Chain:      req.Chain,
-		Payload:    req.Payload,
+		ID:           id,
+		Kind:         codec.FrameRequest,
+		TargetKind:   req.TargetKind,
+		TargetKey:    req.TargetKey,
+		Method:       req.Method,
+		Sender:       req.Sender,
+		Chain:        req.Chain,
+		TraceID:      req.Trace.TraceID,
+		ParentSpan:   req.Trace.SpanID,
+		TraceSampled: req.Trace.Sampled,
+		Payload:      req.Payload,
 	}
 	if err := c.stream.Write(frame); err != nil {
 		c.mu.Lock()
@@ -310,14 +319,17 @@ func (t *TCP) Send(ctx context.Context, node string, req Request) error {
 		return err
 	}
 	frame := &codec.Frame{
-		ID:         c.nextID.Add(1),
-		Kind:       codec.FrameOneWay,
-		TargetKind: req.TargetKind,
-		TargetKey:  req.TargetKey,
-		Method:     req.Method,
-		Sender:     req.Sender,
-		Chain:      req.Chain,
-		Payload:    req.Payload,
+		ID:           c.nextID.Add(1),
+		Kind:         codec.FrameOneWay,
+		TargetKind:   req.TargetKind,
+		TargetKey:    req.TargetKey,
+		Method:       req.Method,
+		Sender:       req.Sender,
+		Chain:        req.Chain,
+		TraceID:      req.Trace.TraceID,
+		ParentSpan:   req.Trace.SpanID,
+		TraceSampled: req.Trace.Sampled,
+		Payload:      req.Payload,
 	}
 	if err := c.stream.Write(frame); err != nil {
 		return &UnreachableError{Node: node, Err: fmt.Errorf("write: %w", err)}

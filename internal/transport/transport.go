@@ -17,6 +17,7 @@ import (
 
 	"aodb/internal/clock"
 	"aodb/internal/netsim"
+	"aodb/internal/telemetry"
 )
 
 // Request is one actor invocation in flight between silos.
@@ -28,6 +29,10 @@ type Request struct {
 	Sender     string // originating silo
 	// Chain carries the synchronous call chain for cycle detection.
 	Chain []string
+	// Trace is the caller's trace context; the zero value means the
+	// request is not sampled. Both transports carry it to the target
+	// silo so turn spans parent correctly across the wire.
+	Trace telemetry.SpanContext
 	// SizeHint is the approximate encoded size in bytes used by the
 	// network model; zero means a small control message.
 	SizeHint int
