@@ -8,6 +8,7 @@
 //	shmbench -fig 7 -scale 10    # scale-out, scaled 10x down for 1-core hosts
 //	shmbench -fig 8              # raw-data latency percentiles (also prints fig 9 data)
 //	shmbench -fig 9              # live-data latency percentiles
+//	shmbench -fig 8 -durable     # same, with durable (fsync-on-ack) grain storage
 //	shmbench -fig all            # everything
 //	shmbench -ablation placement # random vs prefer-local vs consistent-hash
 //	shmbench -ablation durability
@@ -34,13 +35,14 @@ func main() {
 	warmup := flag.Duration("warmup", 0, "warmup to discard (default duration/4)")
 	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
 	trace := flag.Bool("trace", false, "trace every request and print tail-latency attribution (figs 8/9)")
+	durable := flag.Bool("durable", false, "rerun figs 8/9 with persistence on the hot path (durable group-committed store, write-every-batch)")
 	flag.Parse()
 
 	if *fig == "" && *ablation == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale, Trace: *trace}
+	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale, Trace: *trace, Durable: *durable}
 	ctx := context.Background()
 	if err := run(ctx, *fig, *ablation, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "shmbench:", err)

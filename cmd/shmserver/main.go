@@ -14,7 +14,9 @@
 //	    -peers silo-1=127.0.0.1:7001,silo-2=127.0.0.1:7002 -sensors 50
 //
 // With -store DIR the silo persists actor state through the WAL-backed
-// kvstore and recovers it on restart. With -introspect ADDR the silo
+// kvstore and recovers it on restart; adding -durable makes every state
+// write block until its WAL record is fsynced, group-committed across
+// concurrent writers. With -introspect ADDR the silo
 // serves its runtime state over HTTP: /metrics (Prometheus text),
 // /trace (recent sampled spans; ?slow=1 for slow turns), and /actors
 // (per-silo activation and mailbox gauges). -trace enables distributed
@@ -51,6 +53,7 @@ func main() {
 	flag.StringVar(&cfg.silos, "silos", "silo-1", "comma-separated names of ALL silos (identical on every node)")
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated name=addr pairs for the other silos")
 	flag.StringVar(&cfg.storeDir, "store", "", "durability directory (empty = in-memory)")
+	flag.BoolVar(&cfg.durable, "durable", false, "with -store, fsync every actor-state write via WAL group commit (ack => on disk)")
 	flag.StringVar(&cfg.introspect, "introspect", "", "HTTP introspection listen address (empty = off)")
 	flag.BoolVar(&cfg.trace, "trace", false, "enable distributed tracing")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "sample every Nth request when tracing")
@@ -67,6 +70,7 @@ func main() {
 type serverConfig struct {
 	name, listen, silos, peers, storeDir string
 	introspect                           string
+	durable                              bool
 	trace                                bool
 	traceSample                          int
 	slowTurn                             time.Duration
@@ -86,11 +90,13 @@ func run(ctx context.Context, cfg serverConfig) error {
 
 	var store *kvstore.Store
 	if cfg.storeDir != "" {
-		store, err = kvstore.Open(kvstore.Options{Dir: cfg.storeDir})
+		store, err = kvstore.Open(kvstore.Options{Dir: cfg.storeDir, Durable: cfg.durable})
 		if err != nil {
 			return err
 		}
 		defer store.Close()
+	} else if cfg.durable {
+		return fmt.Errorf("-durable needs -store DIR")
 	}
 
 	var tracer *telemetry.Tracer

@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"aodb/internal/cattle"
@@ -76,31 +77,51 @@ type DurabilityResult struct {
 
 // AblationDurability compares durability policies for 100 sensors (200
 // channels — the Great Belt Bridge scale §5 discusses) against a grain
-// store provisioned at 200 writes/s: no writes, write-on-deactivate, and
-// write-per-request, which needs exactly the provisioned limit and
-// therefore rides the throttling edge.
+// store provisioned at 200 writes/s: no writes, write-on-deactivate,
+// write-per-request (which needs exactly the provisioned limit and
+// therefore rides the throttling edge), and write-per-request against a
+// disk-backed durable store, where every acknowledged write is also
+// fsynced via the WAL group commit.
 func AblationDurability(ctx context.Context, opts FigureOptions) ([]DurabilityResult, error) {
 	opts.fill()
 	policies := []struct {
 		name       string
 		store      bool
 		everyBatch bool
+		durable    bool
 	}{
-		{"none", false, false},
-		{"on-deactivate", true, false},
-		{"every-request", true, true},
+		{"none", false, false, false},
+		{"on-deactivate", true, false, false},
+		{"every-request", true, true, false},
+		{"every-request-durable", true, true, true},
 	}
 	var out []DurabilityResult
 	for _, pol := range policies {
 		var store *kvstore.Store
+		var cleanupDir string
 		if pol.store {
 			var err error
-			store, err = kvstore.Open(kvstore.Options{})
+			storeOpts := kvstore.Options{}
+			if pol.durable {
+				dir, err := os.MkdirTemp("", "aodb-durable-ablation-")
+				if err != nil {
+					return out, err
+				}
+				cleanupDir = dir
+				storeOpts = kvstore.Options{Dir: dir, Durable: true}
+			}
+			store, err = kvstore.Open(storeOpts)
 			if err != nil {
+				if cleanupDir != "" {
+					os.RemoveAll(cleanupDir)
+				}
 				return out, err
 			}
 			if err := store.CreateTable("grains", kvstore.Throughput{ReadUnits: 200, WriteUnits: 200}); err != nil {
 				store.Close()
+				if cleanupDir != "" {
+					os.RemoveAll(cleanupDir)
+				}
 				return out, err
 			}
 		}
@@ -117,6 +138,9 @@ func AblationDurability(ctx context.Context, opts FigureOptions) ([]DurabilityRe
 		if store != nil {
 			writes = store.Metrics().Counter("kvstore.writes").Value()
 			store.Close()
+		}
+		if cleanupDir != "" {
+			os.RemoveAll(cleanupDir)
 		}
 		if err != nil {
 			return out, fmt.Errorf("bench: durability ablation %s: %w", pol.name, err)

@@ -47,6 +47,12 @@ type ChaosConfig struct {
 	// Faults configures the injector; its Seed defaults to Seed.
 	Faults faults.Config
 	Seed   int64
+	// StoreDir, when non-empty, backs the soak's grain store with disk;
+	// Durable additionally makes every acknowledged state write fsynced
+	// (WAL group commit), so the "no acked write lost" invariant is
+	// checked against real durability instead of a memory-only store.
+	StoreDir string
+	Durable  bool
 }
 
 func (c *ChaosConfig) fill() {
@@ -191,7 +197,7 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (ChaosResult, error) {
 	cfg.fill()
 	var res ChaosResult
 
-	store, err := kvstore.Open(kvstore.Options{})
+	store, err := kvstore.Open(kvstore.Options{Dir: cfg.StoreDir, Durable: cfg.Durable})
 	if err != nil {
 		return res, err
 	}
@@ -376,6 +382,27 @@ func RunChaos(ctx context.Context, cfg ChaosConfig) (ChaosResult, error) {
 		id := core.ID{Kind: "Ledger", Key: fmt.Sprintf("L%d", l)}
 		var seqs []uint64
 		deadline := time.Now().Add(30 * time.Second)
+		// Fence before reading: ledgerSeqs is a pure read, and reads are
+		// not version-checked, so a zombie activation (created before the
+		// last failover and never written through since) would answer from
+		// stale memory and misreport durable writes as lost. One write
+		// forces the version-conditional state put: a zombie fails the
+		// condition, self-deactivates, and the retried call reaches an
+		// activation hydrated from the store. The fence seq extends the
+		// client sequence, so it never collides with an audited write.
+		fence := seqCtr.Add(1)
+		for {
+			opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+			_, err := rt.Call(opCtx, id, ledgerPut{Seq: fence})
+			cancel()
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("bench: ledger %s unwritable after healing: %w", id, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 		for {
 			opCtx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
 			v, err := rt.Call(opCtx, id, ledgerSeqs{})

@@ -68,6 +68,55 @@ func TestChaosSoak(t *testing.T) {
 		res.InjectedPanics, res.SHMCompleted, res.SHMErrors, res.BreakerTrips, res.VerifyElapsed)
 }
 
+// TestChaosSoakDurable reruns the soak against a disk-backed store in
+// durable mode: every acknowledged ledger write must now also be fsynced
+// through the WAL group commit, and the invariant stays the same — zero
+// acked writes lost, no unclassified errors.
+func TestChaosSoakDurable(t *testing.T) {
+	duration := 4 * time.Second
+	if testing.Short() {
+		duration = 2 * time.Second
+	}
+	cfg := ChaosConfig{
+		Silos:      3,
+		Ledgers:    8,
+		Clients:    8,
+		Sensors:    10,
+		Duration:   duration,
+		CrashEvery: duration / 4,
+		OpTimeout:  2 * time.Second,
+		Seed:       43,
+		StoreDir:   t.TempDir(),
+		Durable:    true,
+		Faults: faults.Config{
+			Drop:     0.02,
+			Dup:      0.01,
+			Delay:    0.02,
+			MaxDelay: 2 * time.Millisecond,
+			KVWrite:  0.02,
+			Panic:    0.005,
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := RunChaos(ctx, cfg)
+	if err != nil {
+		t.Fatalf("chaos harness: %v", err)
+	}
+	if len(res.LostWrites) != 0 {
+		t.Errorf("LOST %d acknowledged durable writes: %v", len(res.LostWrites), res.LostWrites)
+	}
+	if len(res.Unclassified) != 0 {
+		t.Errorf("unclassified errors: %v", res.Unclassified)
+	}
+	if res.AckedWrites == 0 {
+		t.Error("no writes were acknowledged; the soak exercised nothing")
+	}
+	t.Logf("durable soak: acked=%d crashes=%d restarts=%d retriedOps=%d injected(kv=%d panic=%d)",
+		res.AckedWrites, res.Crashes, res.Restarts, res.RetriedOps,
+		res.InjectedKVErrs, res.InjectedPanics)
+}
+
 // TestChaosCalmRunIsClean: with all fault probabilities at zero and no
 // crashes, the harness itself introduces no errors or losses — so any
 // failure in the soak above is attributable to the injected chaos.

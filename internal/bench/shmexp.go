@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 	"time"
 
 	"aodb/internal/capacity"
@@ -229,6 +230,27 @@ type FigureOptions struct {
 	// Trace samples every request through a per-data-point tracer so the
 	// latency-percentile figures also report component attribution.
 	Trace bool
+	// Durable reruns the figure with persistence *on* the hot path: each
+	// data point gets a fresh disk-backed store in durable mode (ack ⇒
+	// fsynced, group-committed) and sensors write state on every batch,
+	// so the percentile curves show the cost of real durability instead
+	// of the paper's off-path storage.
+	Durable bool
+}
+
+// durablePoint opens a fresh durable store for one figure data point. The
+// returned cleanup closes the store and removes its directory.
+func durablePoint() (*kvstore.Store, func(), error) {
+	dir, err := os.MkdirTemp("", "aodb-durable-bench-")
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := kvstore.Open(kvstore.Options{Dir: dir, Durable: true})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	return st, func() { _ = st.Close(); _ = os.RemoveAll(dir) }, nil
 }
 
 // figureTracer builds the per-data-point tracer for traced figure runs:
@@ -311,7 +333,7 @@ func Figures8And9(ctx context.Context, opts FigureOptions) ([]SHMResult, error) 
 	sweep := []int{500, 1000, 1500, 2000}
 	var out []SHMResult
 	for _, sensors := range sweep {
-		res, err := RunSHM(ctx, SHMConfig{
+		cfg := SHMConfig{
 			Sensors:     sensors,
 			Silos:       1,
 			Profile:     capacity.M5XLarge,
@@ -320,7 +342,21 @@ func Figures8And9(ctx context.Context, opts FigureOptions) ([]SHMResult, error) 
 			Warmup:      opts.Warmup,
 			UserQueries: true,
 			Tracer:      figureTracer(opts.Trace),
-		})
+		}
+		var cleanup func()
+		if opts.Durable {
+			st, cl, err := durablePoint()
+			if err != nil {
+				return out, fmt.Errorf("bench: figures 8/9 durable store: %w", err)
+			}
+			cfg.Store = st
+			cfg.WriteEveryBatch = true
+			cleanup = cl
+		}
+		res, err := RunSHM(ctx, cfg)
+		if cleanup != nil {
+			cleanup()
+		}
 		if err != nil {
 			return out, fmt.Errorf("bench: figures 8/9 at %d sensors: %w", sensors, err)
 		}

@@ -77,6 +77,19 @@ func (it Item) expired(now time.Time) bool {
 type Options struct {
 	// Dir is the durability directory. Empty means memory-only.
 	Dir string
+	// Durable makes every mutation block until its WAL record is on
+	// stable storage (ack ⇒ fsynced). Writes are group-committed: the
+	// mutation applies in memory under the table lock, then waits only
+	// for the shared batch flush, so concurrent writers amortize one
+	// fsync instead of serializing behind per-record flushes. Off (the
+	// default), WAL writes are buffered and synced on snapshot/Close,
+	// mirroring how the paper keeps storage off the hot path.
+	Durable bool
+	// FlushMaxRecords bounds the WAL group-commit batch (default 1024).
+	FlushMaxRecords int
+	// FlushMaxWait, when positive, lets the flush leader linger for
+	// followers before syncing; zero flushes as soon as the disk is free.
+	FlushMaxWait time.Duration
 	// SnapshotEvery triggers automatic snapshot compaction after this many
 	// WAL records. Zero means 100,000.
 	SnapshotEvery int
@@ -100,7 +113,20 @@ type Store struct {
 	clk     clock.Clock
 	reg     *metrics.Registry
 	closed  bool
-	applied int // WAL records since last snapshot
+	applied atomic.Int64 // WAL records staged (drives snapshot cadence)
+
+	// Background snapshot lifecycle: at most one compaction goroutine at
+	// a time, drained on Close. snapMu guards only these two fields and
+	// is never held while taking mu or a table lock — the snapshot
+	// trigger fires under the writer's table lock, and nesting the
+	// store lock there would invert against Snapshot's mu→table order.
+	snapMu       sync.Mutex
+	snapInFlight bool
+	snapClosed   bool
+	snapWG       sync.WaitGroup
+
+	// flushWait records how long durable writes blocked on group commit.
+	flushWait *metrics.Histogram
 
 	// writeFault, when set, is invoked on the write path; nil (the normal
 	// case) costs one atomic pointer load.
@@ -161,6 +187,7 @@ func Open(opts Options) (*Store, error) {
 		clk:    opts.Clock,
 		reg:    opts.Metrics,
 	}
+	s.flushWait = s.reg.Histogram("kvstore.flush_wait")
 	if opts.Dir == "" {
 		return s, nil
 	}
@@ -171,7 +198,12 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{})
+	l, err := wal.Open(filepath.Join(opts.Dir, "wal"), wal.Options{
+		SyncEveryAppend: opts.Durable,
+		MaxBatchRecords: opts.FlushMaxRecords,
+		MaxBatchWait:    opts.FlushMaxWait,
+		Metrics:         s.reg,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +492,6 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 	}
 	now := t.store.clk.Now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	cur, exists := t.items[key]
 	if exists && cur.expired(now) {
 		// Expired items are logically absent but keep their version
@@ -470,9 +501,13 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 	if expect >= 0 {
 		switch {
 		case expect == 0 && exists:
-			return 0, fmt.Errorf("%w: %s/%s exists at v%d", ErrVersionMismatch, t.name, key, cur.Version)
+			ver := cur.Version
+			t.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s/%s exists at v%d", ErrVersionMismatch, t.name, key, ver)
 		case expect > 0 && (!exists || cur.Version != expect):
-			return 0, fmt.Errorf("%w: %s/%s at v%d, expected v%d", ErrVersionMismatch, t.name, key, cur.Version, expect)
+			ver := cur.Version
+			t.mu.Unlock()
+			return 0, fmt.Errorf("%w: %s/%s at v%d, expected v%d", ErrVersionMismatch, t.name, key, ver, expect)
 		}
 	}
 	next := cur.Version + 1
@@ -485,11 +520,37 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 	} else {
 		record = encodeRecord(opPut, t.name, key, stored, next)
 	}
-	if err := t.store.logMutation(record); err != nil {
+	// Durable fast path: stage the WAL record and apply in memory under
+	// the table lock (staging assigns the log order, so it must agree
+	// with the per-key version order), then block only on the batched
+	// flush acknowledgment after the lock is released. Concurrent
+	// writers to the same table overlap their fsync waits instead of
+	// serializing behind one.
+	ack, err := t.store.stageMutation(record)
+	if err != nil {
+		t.mu.Unlock()
 		return 0, err
 	}
+	prev, hadPrev := t.items[key]
 	t.items[key] = item
 	t.store.reg.Counter("kvstore.writes").Inc()
+	t.mu.Unlock()
+	if err := t.store.awaitDurable(ctx, ack); err != nil {
+		// The record never became durable: undo the in-memory apply if it
+		// is still the visible state, so an unacknowledged write cannot
+		// be read back (a later write that superseded it carries its own
+		// full value and durability outcome).
+		t.mu.Lock()
+		if got, ok := t.items[key]; ok && got.Version == next {
+			if hadPrev {
+				t.items[key] = prev
+			} else {
+				delete(t.items, key)
+			}
+		}
+		t.mu.Unlock()
+		return 0, err
+	}
 	return next, nil
 }
 
@@ -499,6 +560,15 @@ func (t *Table) DeleteIf(ctx context.Context, key string, expect int64) error {
 	if expect <= 0 {
 		return errors.New("kvstore: DeleteIf needs a positive expected version")
 	}
+	return t.deleteIfVersion(ctx, key, expect, false)
+}
+
+// deleteIfVersion is the version-fenced delete shared by DeleteIf and
+// Sweep. allowExpired lets Sweep reclaim items whose TTL has passed —
+// still only at the exact version it observed, so a concurrent Put that
+// resurrected the key makes the condition fail instead of deleting the
+// fresh value.
+func (t *Table) deleteIfVersion(ctx context.Context, key string, expect int64, allowExpired bool) error {
 	if err := t.store.injectWriteFault(t.name, key); err != nil {
 		return err
 	}
@@ -509,37 +579,64 @@ func (t *Table) DeleteIf(ctx context.Context, key string, expect int64) error {
 	}
 	now := t.store.clk.Now()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	cur, ok := t.items[key]
-	if !ok || cur.expired(now) || cur.Version != expect {
-		return fmt.Errorf("%w: %s/%s at v%d, expected v%d", ErrVersionMismatch, t.name, key, cur.Version, expect)
+	if !ok || (!allowExpired && cur.expired(now)) || cur.Version != expect {
+		ver := cur.Version
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s/%s at v%d, expected v%d", ErrVersionMismatch, t.name, key, ver, expect)
 	}
-	if err := t.store.logMutation(encodeRecord(opDelete, t.name, key, nil, 0)); err != nil {
+	ack, err := t.store.stageMutation(encodeRecord(opDelete, t.name, key, nil, 0))
+	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	delete(t.items, key)
 	t.store.reg.Counter("kvstore.deletes").Inc()
+	t.mu.Unlock()
+	if err := t.store.awaitDurable(ctx, ack); err != nil {
+		// The delete never became durable; restore the item unless a
+		// concurrent writer has already re-created the key.
+		t.mu.Lock()
+		if _, ok := t.items[key]; !ok {
+			t.items[key] = cur
+		}
+		t.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
 // Sweep physically removes expired items, returning how many were
 // reclaimed. TTL reads are lazy, so Sweep is optional housekeeping.
+// Deletes are conditioned on the version each victim was observed at, so
+// a key resurrected by a concurrent Put is skipped rather than deleted.
+// On error the count of items actually removed so far is still returned.
 func (t *Table) Sweep(ctx context.Context) (int, error) {
 	now := t.store.clk.Now()
 	t.mu.Lock()
-	var victims []string
+	type victim struct {
+		key     string
+		version int64
+	}
+	var victims []victim
 	for k, it := range t.items {
 		if it.expired(now) {
-			victims = append(victims, k)
+			victims = append(victims, victim{key: k, version: it.Version})
 		}
 	}
 	t.mu.Unlock()
-	for _, k := range victims {
-		if err := t.Delete(ctx, k); err != nil {
-			return 0, err
+	swept := 0
+	for _, v := range victims {
+		err := t.deleteIfVersion(ctx, v.key, v.version, true)
+		if errors.Is(err, ErrVersionMismatch) {
+			continue // resurrected or already reclaimed — not ours to delete
 		}
+		if err != nil {
+			return swept, err
+		}
+		swept++
 	}
-	return len(victims), nil
+	return swept, nil
 }
 
 // Delete removes key. Deleting a missing key is not an error, matching
@@ -554,15 +651,27 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 		}
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.items[key]; !ok {
+	cur, ok := t.items[key]
+	if !ok {
+		t.mu.Unlock()
 		return nil
 	}
-	if err := t.store.logMutation(encodeRecord(opDelete, t.name, key, nil, 0)); err != nil {
+	ack, err := t.store.stageMutation(encodeRecord(opDelete, t.name, key, nil, 0))
+	if err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	delete(t.items, key)
 	t.store.reg.Counter("kvstore.deletes").Inc()
+	t.mu.Unlock()
+	if err := t.store.awaitDurable(ctx, ack); err != nil {
+		t.mu.Lock()
+		if _, ok := t.items[key]; !ok {
+			t.items[key] = cur
+		}
+		t.mu.Unlock()
+		return err
+	}
 	return nil
 }
 
@@ -615,26 +724,70 @@ func (t *Table) Len() int {
 // Provisioned returns the table's configured throughput.
 func (t *Table) Provisioned() Throughput { return t.prov }
 
-func (s *Store) logMutation(payload []byte) error {
+// stageMutation stages a WAL record for one mutation and returns the
+// acknowledgment handle the caller must Wait on after releasing its table
+// lock. Staging is cheap (no fsync), so holding the table lock across it
+// keeps the WAL order consistent with the per-key version order without
+// serializing writers behind the disk. A nil handle (memory-only store)
+// needs no wait.
+func (s *Store) stageMutation(payload []byte) (*wal.Ack, error) {
 	if s.log == nil {
+		return nil, nil
+	}
+	ack, err := s.log.Stage(payload)
+	if err != nil {
+		return nil, err
+	}
+	if s.applied.Add(1)%int64(s.opts.SnapshotEvery) == 0 {
+		s.kickSnapshot()
+	}
+	return ack, nil
+}
+
+// kickSnapshot starts a background snapshot compaction unless one is
+// already running or the store is closing. Compaction failure must not
+// fail the write that triggered it (the WAL still has everything), but
+// the goroutine is tracked: single-flight, and drained by Close so a
+// background snapshot can never race the log teardown.
+func (s *Store) kickSnapshot() {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.snapInFlight || s.snapClosed {
+		return
+	}
+	s.snapInFlight = true
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		_ = s.Snapshot()
+		s.snapMu.Lock()
+		s.snapInFlight = false
+		s.snapMu.Unlock()
+	}()
+}
+
+// awaitDurable blocks until a staged mutation's durability outcome is
+// known. In durable mode this is the group-commit flush wait — the only
+// blocking a concurrent writer pays for fsync-grade durability — and it
+// is recorded in the kvstore.flush_wait histogram and attributed to the
+// active span so traced runs can pin tail latency on flush waits. In
+// buffered mode the record was written at stage time and this returns
+// immediately.
+func (s *Store) awaitDurable(ctx context.Context, ack *wal.Ack) error {
+	if ack == nil {
 		return nil
 	}
-	if _, err := s.log.Append(payload); err != nil {
-		return err
+	if !s.opts.Durable {
+		return ack.Wait()
 	}
-	s.mu.Lock()
-	s.applied++
-	due := s.applied >= s.opts.SnapshotEvery
-	if due {
-		s.applied = 0
+	start := s.clk.Now()
+	err := ack.Wait()
+	d := s.clk.Since(start)
+	s.flushWait.RecordDuration(d)
+	if sp := telemetry.SpanFrom(ctx); sp != nil {
+		sp.AddFlushWait(d)
 	}
-	s.mu.Unlock()
-	if due {
-		// Compaction failure must not fail the write that triggered it;
-		// the WAL still has everything.
-		go func() { _ = s.Snapshot() }()
-	}
-	return nil
+	return err
 }
 
 // snapshotFile is the gob-encoded on-disk snapshot format.
@@ -759,7 +912,8 @@ func (s *Store) Sync() error {
 // Metrics exposes the store's registry.
 func (s *Store) Metrics() *metrics.Registry { return s.reg }
 
-// Close syncs and closes the store.
+// Close syncs and closes the store. Any in-flight background snapshot is
+// drained first so compaction can never race the log teardown.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -769,6 +923,10 @@ func (s *Store) Close() error {
 	s.closed = true
 	l := s.log
 	s.mu.Unlock()
+	s.snapMu.Lock()
+	s.snapClosed = true
+	s.snapMu.Unlock()
+	s.snapWG.Wait()
 	if l != nil {
 		return l.Close()
 	}

@@ -14,7 +14,11 @@ import (
 //	CPUWait   Σ capacity-slot (simulated CPU contention) waits
 //	CPUBurn   Σ simulated CPU service time
 //	Exec      Σ handler self time (net of nested calls and storage)
-//	StoreRead / StoreWrite  Σ storage time incl. throttling waits
+//	StoreRead / StoreWrite  Σ storage time incl. throttling waits (write
+//	          time is reported net of flush waits)
+//	FlushWait Σ time blocked on durable-mode WAL group-commit flushes —
+//	          split out of StoreWrite so durable-mode tails can be
+//	          attributed to the fsync path specifically
 //	Network   the residual: end-to-end minus everything above — transport
 //	          latency, encode/decode, retry backoff, and scheduling slop
 //
@@ -33,11 +37,12 @@ type Breakdown struct {
 	Exec       time.Duration
 	StoreRead  time.Duration
 	StoreWrite time.Duration
+	FlushWait  time.Duration
 	Network    time.Duration
 }
 
 func (b Breakdown) components() time.Duration {
-	return b.Mailbox + b.CPUWait + b.CPUBurn + b.Exec + b.StoreRead + b.StoreWrite
+	return b.Mailbox + b.CPUWait + b.CPUBurn + b.Exec + b.StoreRead + b.StoreWrite + b.FlushWait
 }
 
 // BreakdownTraces groups spans by trace id and computes one Breakdown
@@ -81,7 +86,14 @@ func BreakdownTraces(spans []Span) []Breakdown {
 			b.CPUBurn += t.CPUBurn
 			b.Exec += t.ExecSelf()
 			b.StoreRead += t.StoreRead
-			b.StoreWrite += t.StoreWrite
+			// The flush wait happened inside a storage write; report the
+			// write net of it so the two columns partition the time.
+			w := t.StoreWrite - t.FlushWait
+			if w < 0 {
+				w = 0
+			}
+			b.StoreWrite += w
+			b.FlushWait += t.FlushWait
 		}
 		if net := b.Total - b.components(); net > 0 {
 			b.Network = net
@@ -107,6 +119,7 @@ type AttributionRow struct {
 	Exec       time.Duration
 	StoreRead  time.Duration
 	StoreWrite time.Duration
+	FlushWait  time.Duration
 	Network    time.Duration
 
 	// Dominant names the largest component — the tail's headline cause.
@@ -121,7 +134,7 @@ type AttributionTable struct {
 }
 
 // componentNames orders the component columns everywhere they render.
-var componentNames = []string{"mailbox", "cpu-wait", "cpu-burn", "exec", "store-read", "store-write", "network"}
+var componentNames = []string{"mailbox", "cpu-wait", "cpu-burn", "exec", "store-read", "store-write", "flush-wait", "network"}
 
 func (r *AttributionRow) component(name string) time.Duration {
 	switch name {
@@ -137,6 +150,8 @@ func (r *AttributionRow) component(name string) time.Duration {
 		return r.StoreRead
 	case "store-write":
 		return r.StoreWrite
+	case "flush-wait":
+		return r.FlushWait
 	case "network":
 		return r.Network
 	default:
@@ -181,6 +196,7 @@ func Attribute(bds []Breakdown, percentiles []float64) AttributionTable {
 			row.Exec += b.Exec
 			row.StoreRead += b.StoreRead
 			row.StoreWrite += b.StoreWrite
+			row.FlushWait += b.FlushWait
 			row.Network += b.Network
 		}
 		w := time.Duration(row.Window)
@@ -191,6 +207,7 @@ func Attribute(bds []Breakdown, percentiles []float64) AttributionTable {
 		row.Exec /= w
 		row.StoreRead /= w
 		row.StoreWrite /= w
+		row.FlushWait /= w
 		row.Network /= w
 		best := ""
 		var bestV time.Duration = -1
@@ -208,13 +225,13 @@ func Attribute(bds []Breakdown, percentiles []float64) AttributionTable {
 // String renders the table in the markdown shape EXPERIMENTS.md uses.
 func (t AttributionTable) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "| pctile | total | mailbox | cpu-wait | cpu-burn | exec | store-read | store-write | network | dominant |\n")
-	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&b, "| pctile | total | mailbox | cpu-wait | cpu-burn | exec | store-read | store-write | flush-wait | network | dominant |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range t.Rows {
-		fmt.Fprintf(&b, "| p%g | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+		fmt.Fprintf(&b, "| p%g | %s | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
 			r.Percentile, fmtDur(r.Total), fmtDur(r.Mailbox), fmtDur(r.CPUWait),
 			fmtDur(r.CPUBurn), fmtDur(r.Exec), fmtDur(r.StoreRead),
-			fmtDur(r.StoreWrite), fmtDur(r.Network), r.Dominant)
+			fmtDur(r.StoreWrite), fmtDur(r.FlushWait), fmtDur(r.Network), r.Dominant)
 	}
 	return b.String()
 }

@@ -69,6 +69,8 @@ func (k SpanKind) String() string {
 //	Nested     time blocked inside nested actor Calls/Tells
 //	StoreRead  kvstore read time (including provisioned-throughput waits)
 //	StoreWrite kvstore write time (ditto)
+//	FlushWait  portion of StoreWrite spent blocked on the WAL group-commit
+//	           flush in durable mode (ack ⇒ fsynced)
 //
 // The accumulating fields are written with atomic adds so helpers called
 // from storage or nested-call paths can never race the turn goroutine.
@@ -90,6 +92,7 @@ type Span struct {
 	Nested     time.Duration
 	StoreRead  time.Duration
 	StoreWrite time.Duration
+	FlushWait  time.Duration
 
 	Retries int32 // root only: transparent retries the call needed
 	Hops    int32 // root: wrong-silo re-routes; turn: nested calls issued
@@ -114,6 +117,17 @@ func (s *Span) AddStoreWrite(d time.Duration) {
 		return
 	}
 	addDur(&s.StoreWrite, d)
+}
+
+// AddFlushWait attributes time spent blocked on a durable-mode WAL
+// group-commit flush. The same interval is also part of StoreWrite (the
+// flush wait happens inside a storage write), so attribution reports
+// store-write net of flush waits.
+func (s *Span) AddFlushWait(d time.Duration) {
+	if s == nil {
+		return
+	}
+	addDur(&s.FlushWait, d)
 }
 
 // AddNested attributes time spent blocked in a nested actor call and
