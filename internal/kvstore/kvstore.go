@@ -165,6 +165,16 @@ type Table struct {
 	prov   Throughput
 	reads  *ratelimit.Bucket // nil if unlimited
 	writes *ratelimit.Bucket
+
+	// mutSeq maps each key to the WAL sequence of the last mutation
+	// applied to it in memory (maintained on durable stores only, where
+	// a failed group-commit flush rolls mutations back). Versions are not
+	// usable as that fence: they restart at 1 after a delete, so a failed
+	// delete's rollback could mistake a concurrent writer's fresh value
+	// for the state it removed. Entries for deleted keys are the
+	// tombstones the fence needs and are kept; the map is process-local
+	// and starts empty on recovery.
+	mutSeq map[string]uint64
 }
 
 const snapshotSuffix = ".snap"
@@ -330,7 +340,7 @@ func (s *Store) applyRecord(payload []byte) error {
 }
 
 func (s *Store) newTable(name string, prov Throughput) *Table {
-	t := &Table{name: name, store: s, items: make(map[string]Item), prov: prov}
+	t := &Table{name: name, store: s, items: make(map[string]Item), mutSeq: make(map[string]uint64), prov: prov}
 	if prov.ReadUnits > 0 {
 		t.reads = ratelimit.NewBucket(s.clk, prov.ReadUnits, prov.ReadUnits)
 	}
@@ -532,21 +542,23 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 		return 0, err
 	}
 	prev, hadPrev := t.items[key]
+	prevSeq := t.noteMutation(key, ack)
 	t.items[key] = item
 	t.store.reg.Counter("kvstore.writes").Inc()
 	t.mu.Unlock()
 	if err := t.store.awaitDurable(ctx, ack); err != nil {
-		// The record never became durable: undo the in-memory apply if it
-		// is still the visible state, so an unacknowledged write cannot
-		// be read back (a later write that superseded it carries its own
-		// full value and durability outcome).
+		// The record never became durable: unwind the in-memory apply so
+		// an unacknowledged write cannot be read back. The fence (not the
+		// version, which restarts at 1 after deletes) decides whether the
+		// visible state is still this chain's to unwind.
 		t.mu.Lock()
-		if got, ok := t.items[key]; ok && got.Version == next {
+		if t.rollbackAllowed(key, ack) {
 			if hadPrev {
 				t.items[key] = prev
 			} else {
 				delete(t.items, key)
 			}
+			t.mutSeq[key] = prevSeq
 		}
 		t.mu.Unlock()
 		return 0, err
@@ -590,15 +602,19 @@ func (t *Table) deleteIfVersion(ctx context.Context, key string, expect int64, a
 		t.mu.Unlock()
 		return err
 	}
+	prevSeq := t.noteMutation(key, ack)
 	delete(t.items, key)
 	t.store.reg.Counter("kvstore.deletes").Inc()
 	t.mu.Unlock()
 	if err := t.store.awaitDurable(ctx, ack); err != nil {
-		// The delete never became durable; restore the item unless a
-		// concurrent writer has already re-created the key.
+		// The delete never became durable; restore the item, fenced on
+		// the key's mutation sequence — mere absence could be a later
+		// delete's doing, and restoring under it would resurrect a value
+		// the durable log says is gone.
 		t.mu.Lock()
-		if _, ok := t.items[key]; !ok {
+		if t.rollbackAllowed(key, ack) {
 			t.items[key] = cur
+			t.mutSeq[key] = prevSeq
 		}
 		t.mu.Unlock()
 		return err
@@ -661,13 +677,16 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 		t.mu.Unlock()
 		return err
 	}
+	prevSeq := t.noteMutation(key, ack)
 	delete(t.items, key)
 	t.store.reg.Counter("kvstore.deletes").Inc()
 	t.mu.Unlock()
 	if err := t.store.awaitDurable(ctx, ack); err != nil {
+		// Same fenced restore as deleteIfVersion.
 		t.mu.Lock()
-		if _, ok := t.items[key]; !ok {
+		if t.rollbackAllowed(key, ack) {
 			t.items[key] = cur
+			t.mutSeq[key] = prevSeq
 		}
 		t.mu.Unlock()
 		return err
@@ -723,6 +742,35 @@ func (t *Table) Len() int {
 
 // Provisioned returns the table's configured throughput.
 func (t *Table) Provisioned() Throughput { return t.prov }
+
+// noteMutation records ack's sequence as the key's latest applied
+// mutation and returns the previous fence value, which the mutation's
+// rollback restores. Must be called with t.mu held. Only durable stores
+// maintain the fence: buffered and memory-only stores never reach the
+// rollback path (their staging errors surface before the apply and Wait
+// cannot fail).
+func (t *Table) noteMutation(key string, ack *wal.Ack) uint64 {
+	if ack == nil || !t.store.opts.Durable {
+		return 0
+	}
+	prev := t.mutSeq[key]
+	t.mutSeq[key] = ack.Seq()
+	return prev
+}
+
+// rollbackAllowed reports whether a mutation whose flush failed may
+// restore the state it captured before applying. Flush failures are
+// prefix-closed in sequence order (the WAL fails every batch after the
+// first failed one), so the key's failed mutations form a chain whose
+// captured states link back to the last durable value. The fence holds
+// while mutSeq still points at this mutation or a later one in that
+// chain; once a racing rollback has unwound past this mutation, the
+// current state is not ours to replace — whichever failed writer the
+// fence does point at will finish the unwind. Must be called with t.mu
+// held.
+func (t *Table) rollbackAllowed(key string, ack *wal.Ack) bool {
+	return t.mutSeq[key] >= ack.Seq()
+}
 
 // stageMutation stages a WAL record for one mutation and returns the
 // acknowledgment handle the caller must Wait on after releasing its table
@@ -814,6 +862,10 @@ func (s *Store) Snapshot() error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	// The cutoff is read before the dump: every record <= LastSeq was
+	// applied before its table's cut (staging and applying share the
+	// table lock), so the snapshot covers it. Records applied during the
+	// dump carry later sequences and replay idempotently on top.
 	dump := snapshotFile{
 		LastSeq: s.log.NextSeq() - 1,
 		Tables:  make(map[string]snapshotTable, len(s.tables)),
@@ -822,12 +874,24 @@ func (s *Store) Snapshot() error {
 		t.mu.RLock()
 		st := snapshotTable{Prov: t.prov, Items: make(map[string]Item, len(t.items))}
 		for k, it := range t.items {
-			st.Items[k] = Item{Key: k, Value: append([]byte(nil), it.Value...), Version: it.Version}
+			st.Items[k] = Item{Key: k, Value: append([]byte(nil), it.Value...), Version: it.Version, ExpiresAt: it.ExpiresAt}
 		}
 		t.mu.RUnlock()
 		dump.Tables[name] = st
 	}
 	s.mu.Unlock()
+
+	// Flush barrier: the dump can capture a durable-mode mutation whose
+	// group-commit flush is still in flight. If that flush then failed,
+	// the writer would get an error and roll the mutation back — but the
+	// dump took its copy first, so committing the snapshot (and letting
+	// it supersede the WAL prefix) would smuggle the unacknowledged write
+	// into recovery. Syncing here makes every captured mutation durable
+	// before the snapshot is committed; on failure the snapshot is
+	// abandoned and the WAL remains the only truth.
+	if err := s.log.Sync(); err != nil {
+		return err
+	}
 
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(dump); err != nil {

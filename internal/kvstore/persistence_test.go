@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -360,6 +361,203 @@ func TestDurableStoreTTLRoundTrip(t *testing.T) {
 	fc.Advance(2 * time.Minute)
 	if _, err := tb2.Get(ctx, "lease"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expired item read = %v, want ErrNotFound", err)
+	}
+}
+
+// waitForValue polls until key's in-memory state matches want (nil means
+// absent), so tests can sequence writers that are parked in flush waits.
+func waitForValue(t *testing.T, tb *Table, key string, want []byte) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		tb.mu.RLock()
+		it, ok := tb.items[key]
+		tb.mu.RUnlock()
+		if want == nil && !ok {
+			return
+		}
+		if want != nil && ok && bytes.Equal(it.Value, want) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("key %q never reached state %q", key, want)
+}
+
+// TestSnapshotAbortsWhenFlushFails: Snapshot's dump can capture a write
+// whose group-commit flush is still in flight. If that flush fails, the
+// write is rolled back and its caller gets an error — so the snapshot
+// must abort rather than commit a dump that would make the
+// unacknowledged write visible after recovery.
+func TestSnapshotAbortsWhenFlushFails(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	// Seed the durable state with the default flush wait, then reopen
+	// with a long batching window so in-flight flushes can be observed:
+	// with FlushMaxWait set, a lone writer parks for the full window.
+	seed, err := Open(Options{Dir: dir, Durable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stb, err := seed.EnsureTable("t", Throughput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stb.Put(ctx, "k", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+	s, err := Open(Options{Dir: dir, Durable: true, FlushMaxWait: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := s.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.log.InjectWriteFault(func(f *os.File, p []byte) (int, error) {
+		return 0, errors.New("disk full")
+	})
+	putErr := make(chan error, 1)
+	go func() {
+		_, err := tb.Put(ctx, "k", []byte("bad"))
+		putErr <- err
+	}()
+	// The write is applied in memory while its flush (parked on the
+	// FlushMaxWait window) has not happened yet — exactly what a
+	// background compaction could catch mid-flight.
+	waitForValue(t, tb, "k", []byte("bad"))
+	if err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot committed a dump containing a write whose flush failed")
+	}
+	if err := <-putErr; err == nil {
+		t.Fatal("put acked without durability")
+	}
+	s.log.InjectWriteFault(nil)
+	waitForValue(t, tb, "k", []byte("good")) // rolled back
+	// Crash-reopen: only the acked write may be visible.
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer s2.Close()
+	tb2, err := s2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := tb2.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("acked write lost: %v", err)
+	}
+	if !bytes.Equal(it.Value, []byte("good")) || it.Version != 1 {
+		t.Fatalf("recovered %q v%d, want acked %q v1", it.Value, it.Version, "good")
+	}
+	s.Close()
+}
+
+// TestFailedDurableRollbackConverges is the regression for the delete-
+// rollback resurrection race: a delete, a put (whose version restarts at
+// 1, colliding with the deleted item's) and another delete of the same
+// key all fail in one group commit. Whatever order their rollbacks run
+// in, memory must converge to the last durable state — an absence-keyed
+// (or version-keyed) restore can instead resurrect one of the failed
+// intermediates.
+func TestFailedDurableRollbackConverges(t *testing.T) {
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		dir := t.TempDir()
+		seed, err := Open(Options{Dir: dir, Durable: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stb, err := seed.EnsureTable("t", Throughput{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := stb.Put(ctx, "k", []byte("durable")); err != nil {
+			t.Fatal(err)
+		}
+		seed.Close()
+		// Long batching window so all three failing mutations share one
+		// parked batch (see TestSnapshotAbortsWhenFlushFails).
+		s, err := Open(Options{Dir: dir, Durable: true, FlushMaxWait: time.Hour})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := s.Table("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.log.InjectWriteFault(func(f *os.File, p []byte) (int, error) {
+			return 0, errors.New("disk full")
+		})
+		errs := make(chan error, 3)
+		go func() { errs <- tb.Delete(ctx, "k") }()
+		waitForValue(t, tb, "k", nil)
+		go func() {
+			_, err := tb.Put(ctx, "k", []byte("phantom"))
+			errs <- err
+		}()
+		waitForValue(t, tb, "k", []byte("phantom"))
+		go func() { errs <- tb.Delete(ctx, "k") }()
+		waitForValue(t, tb, "k", nil)
+		if err := s.Sync(); err == nil { // flushes the shared batch; all three fail
+			t.Fatal("Sync with failing WAL write succeeded")
+		}
+		for j := 0; j < 3; j++ {
+			if err := <-errs; err == nil {
+				t.Fatal("mutation acked without durability")
+			}
+		}
+		s.log.InjectWriteFault(nil)
+		tb.mu.RLock()
+		it, ok := tb.items["k"]
+		tb.mu.RUnlock()
+		if !ok || !bytes.Equal(it.Value, []byte("durable")) || it.Version != 1 {
+			t.Fatalf("iter %d: after rollbacks k = %q v%d (present=%v), want durable %q v1",
+				i, it.Value, it.Version, ok, "durable")
+		}
+		s.Close()
+	}
+}
+
+// TestSnapshotPreservesTTL: compaction must not drop ExpiresAt — a TTL
+// item restored from a snapshot (whose WAL prefix the snapshot
+// supersedes) used to come back immortal.
+func TestSnapshotPreservesTTL(t *testing.T) {
+	dir := t.TempDir()
+	fc := clock.NewFake(time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	s, err := Open(Options{Dir: dir, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := s.EnsureTable("t", Throughput{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := tb.PutWithTTL(ctx, "lease", []byte("v"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(Options{Dir: dir, Clock: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	tb2, err := s2.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb2.Get(ctx, "lease"); err != nil {
+		t.Fatalf("TTL item lost across snapshot: %v", err)
+	}
+	fc.Advance(2 * time.Minute)
+	if _, err := tb2.Get(ctx, "lease"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired item read = %v, want ErrNotFound (snapshot dropped ExpiresAt?)", err)
 	}
 }
 

@@ -316,6 +316,156 @@ func TestGroupCommitBatchFailureReleasesAllWaiters(t *testing.T) {
 	}
 }
 
+// TestGroupCommitFlushesInSeqOrder: a full batch detaches from staging
+// before its leader reaches the flush mutex, so a newer batch's leader
+// can get there first — and must drain the older batch ahead of its own.
+// Replay derives sequence numbers from disk positions, so out-of-order
+// flushes would silently re-number records on recovery.
+func TestGroupCommitFlushesInSeqOrder(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEveryAppend: true, MaxBatchRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := l.Stage([]byte("first")) // fills batch 1; its leader is not waiting yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := l.Stage([]byte("second")) // batch 2 forms behind it
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2's leader flushes first; batch 1 must reach disk with it.
+	if err := a2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a1.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := map[uint64]string{}
+	if err := l2.Replay(func(seq uint64, p []byte) error {
+		got[seq] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[a1.Seq()] != "first" || got[a2.Seq()] != "second" {
+		t.Fatalf("replayed %v, want seq %d=first, %d=second (batches flushed out of order?)",
+			got, a1.Seq(), a2.Seq())
+	}
+}
+
+// TestFailedBatchWriteReturnsSequences: a batch whose write fails and is
+// truncate-repaired must give its already-assigned sequence numbers back
+// and fail every newer staged batch — otherwise later records sit at
+// disk positions below their assigned sequences and a snapshot cutoff in
+// assigned-sequence space silently drops them at recovery.
+func TestFailedBatchWriteReturnsSequences(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SyncEveryAppend: true, MaxBatchRecords: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("durable")); err != nil { // seq 1
+		t.Fatal(err)
+	}
+	a1, err := l.Stage([]byte("doomed")) // seq 2, full batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := l.Stage([]byte("stranded")) // seq 3, newer batch
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.writeFile = func(f *os.File, p []byte) (int, error) {
+		l.writeFile = nil
+		return 0, fmt.Errorf("disk full")
+	}
+	if err := a1.Wait(); err == nil {
+		t.Fatal("failed batch write acked")
+	}
+	if err := a2.Wait(); err == nil {
+		t.Fatal("batch staged behind a failed one acked without being written")
+	}
+	seq, err := l.Append([]byte("recovered"))
+	if err != nil {
+		t.Fatalf("append after repaired batch failure: %v", err)
+	}
+	if seq != 2 {
+		t.Fatalf("post-failure append got seq %d, want the rolled-back 2", seq)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := map[uint64]string{}
+	if err := l2.Replay(func(seq uint64, p []byte) error {
+		got[seq] = string(p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != "durable" || got[2] != "recovered" {
+		t.Fatalf("replayed %v, want 1=durable, 2=recovered", got)
+	}
+}
+
+// TestRecoveredSegmentRepairLeavesNoHole: the active segment reopened by
+// recovery must append at the record boundary after a torn-write repair.
+// A non-O_APPEND fd keeps its offset past the truncated EOF, so the next
+// write would leave a zero-filled hole — and an all-zero header parses
+// as a valid empty record, silently mis-sequencing everything after it.
+func TestRecoveredSegmentRepairLeavesNoHole(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := Open(dir, Options{}) // recovery reopens the active segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.writeFile = func(f *os.File, p []byte) (int, error) {
+		l2.writeFile = nil
+		n, _ := f.Write(p[:len(p)/2])
+		return n, io.ErrShortWrite
+	}
+	if _, err := l2.Append([]byte("torn")); err == nil {
+		t.Fatal("append with injected short write succeeded")
+	}
+	if _, err := l2.Append([]byte("after")); err != nil {
+		t.Fatalf("append after repaired short write: %v", err)
+	}
+	l2.Close()
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	var got []string
+	if err := l3.Replay(func(_ uint64, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+		t.Fatalf("recovered %q, want [before after] (zero-filled hole in repaired segment?)", got)
+	}
+}
+
 // benchAppendParallel measures durable appends from `workers` goroutines
 // splitting b.N appends between them.
 func benchAppendParallel(b *testing.B, opts Options, workers int) {

@@ -29,12 +29,18 @@
 // MaxBatchRecords and MaxBatchWait knobs bound the batch size and let
 // deployments trade latency for larger batches.
 //
+// Batches always reach disk in sequence order: replay derives sequence
+// numbers from disk positions, so a flusher first drains every older
+// unflushed batch (coalesced into its own write+fsync) before its own.
+//
 // The durability contract is: a nil error from Append (or Ack.Wait) means
-// the record is fsynced. A failed batch is rolled back — the segment is
-// truncated to its pre-batch size so no partially-written record can sit
-// in front of later appends — and if that repair fails, the log becomes
-// sticky-failed and rejects further appends rather than silently stacking
-// records behind a torn one.
+// the record is fsynced. A failed batch write is rolled back — the segment
+// is truncated to its pre-batch size, the batch's already-assigned
+// sequence numbers are returned to the log, and every newer staged batch
+// is failed with it — so assigned sequences always equal disk positions.
+// If that repair fails, or an fsync fails, the log becomes sticky-failed
+// and rejects further appends rather than silently stacking records
+// behind a torn one.
 package wal
 
 import (
@@ -136,7 +142,8 @@ type Log struct {
 	firstSeq uint64 // sequence of first record in active segment
 	nextSeq  uint64
 	segments []uint64 // sorted firstSeq of sealed+active segments
-	pending  *batch   // batch currently accepting stagers
+	pending  *batch   // batch currently accepting stagers (tail of queue)
+	queue    []*batch // staged-but-unflushed batches, oldest first
 	failed   error    // sticky failure; non-nil rejects all appends
 
 	// Test hooks for fault injection (nil = the real operations).
@@ -209,17 +216,18 @@ func (l *Log) scan() error {
 	if err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	// O_APPEND, like rollLocked's segments: writeLocked's torn-write
+	// repair truncates the file, and a plain fd whose offset still sits
+	// past the new EOF would punch a zero-filled hole on the next write —
+	// which replay then misreads (an all-zero header parses as a valid
+	// empty record).
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		return fmt.Errorf("wal: open active segment: %w", err)
 	}
 	if err := f.Truncate(validBytes); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: truncate torn tail: %w", err)
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return err
 	}
 	l.active = f
 	l.activeSz = validBytes
@@ -316,6 +324,15 @@ func (l *Log) fsync(f *os.File) error {
 		return l.syncFile(f)
 	}
 	return f.Sync()
+}
+
+// InjectWriteFault installs fn as the segment-write implementation (nil
+// restores the real write). Fault injection for tests outside this
+// package, mirroring kvstore.SetWriteFault; not for production use.
+func (l *Log) InjectWriteFault(fn func(*os.File, []byte) (int, error)) {
+	l.mu.Lock()
+	l.writeFile = fn
+	l.mu.Unlock()
 }
 
 // appendRecord frames payload and appends it to buf.
@@ -426,6 +443,7 @@ func (l *Log) Stage(payload []byte) (*Ack, error) {
 			full:     make(chan struct{}),
 			done:     make(chan struct{}),
 		}
+		l.queue = append(l.queue, l.pending)
 	}
 	b := l.pending
 	b.buf = appendRecord(b.buf, payload)
@@ -490,11 +508,21 @@ func (a *Ack) Wait() error {
 	return a.b.err
 }
 
-// flushBatch writes and fsyncs b if it is still unclaimed, releasing its
-// waiters. It must be called with flushMu held; reports whether this call
-// performed the flush. A write failure is repaired by writeLocked; an
-// fsync failure marks the log sticky-failed (the data's durability is
-// unknown, which the log treats as unrecoverable).
+// flushBatch makes b durable, releasing its waiters. Batches must reach
+// disk in sequence order — replay derives sequence numbers from disk
+// positions, so a newer batch overtaking an older one through the flush
+// mutex would re-number both on recovery — so the flusher drains every
+// older unflushed batch too, coalescing the whole queue prefix ending at
+// b into one write+fsync. Must be called with flushMu held; reports
+// whether this call performed b's flush.
+//
+// A failed write is repaired by writeLocked (truncate back to the
+// pre-write boundary); the group's already-assigned sequence numbers are
+// then rolled back and every newer staged batch is failed with it, so
+// assigned sequences keep matching disk positions. If the repair itself
+// fails, or fsync fails, the log goes sticky-failed instead: durability
+// of bytes already handed to the kernel is unknown, which the log treats
+// as unrecoverable.
 func (l *Log) flushBatch(b *batch) bool {
 	start := time.Now()
 	l.mu.Lock()
@@ -502,9 +530,28 @@ func (l *Log) flushBatch(b *batch) bool {
 		l.mu.Unlock()
 		return false
 	}
-	b.claimed = true
-	if l.pending == b {
-		l.pending = nil
+	// b is unclaimed, so it is still queued; flushers always drain from
+	// the head, so everything ahead of b is older and equally unclaimed.
+	idx := 0
+	for l.queue[idx] != b {
+		idx++
+	}
+	group := l.queue[: idx+1 : idx+1]
+	l.queue = l.queue[idx+1:]
+	records := 0
+	for _, q := range group {
+		q.claimed = true
+		if l.pending == q {
+			l.pending = nil
+		}
+		records += q.records
+	}
+	data := b.buf
+	if len(group) > 1 {
+		data = nil
+		for _, q := range group {
+			data = append(data, q.buf...)
+		}
 	}
 	var err error
 	switch {
@@ -513,7 +560,21 @@ func (l *Log) flushBatch(b *batch) bool {
 	case l.active == nil:
 		err = ErrClosed
 	default:
-		err = l.writeLocked(b.buf, b.firstSeq)
+		if err = l.writeLocked(data, group[0].firstSeq); err != nil && l.failed == nil {
+			// The segment was repaired: nothing of this group is on disk.
+			// Give the burned sequence numbers back, and fail every newer
+			// staged batch — its assigned sequences no longer match the
+			// disk positions it would land at.
+			l.nextSeq = group[0].firstSeq
+			abort := fmt.Errorf("wal: batch aborted by earlier write failure: %w", err)
+			for _, q := range l.queue {
+				q.claimed = true
+				q.err = abort
+				close(q.done)
+			}
+			l.queue = nil
+			l.pending = nil
+		}
 	}
 	f := l.active
 	l.mu.Unlock()
@@ -528,11 +589,13 @@ func (l *Log) flushBatch(b *batch) bool {
 	}
 	if l.mFlushes != nil {
 		l.mFlushes.Inc()
-		l.mFlushRecords.Record(int64(b.records))
+		l.mFlushRecords.Record(int64(records))
 		l.mFlushLatency.RecordDuration(time.Since(start))
 	}
-	b.err = err
-	close(b.done)
+	for _, q := range group {
+		q.err = err
+		close(q.done)
+	}
 	return true
 }
 
@@ -550,17 +613,26 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	return a.seq, nil
 }
 
-// Sync flushes any staged batch and the active segment to stable storage:
-// a durability barrier for records appended in buffered mode.
+// Sync flushes all staged batches and the active segment to stable
+// storage: a durability barrier for records appended in buffered mode,
+// and for staged group-commit records whose flushes are still in flight.
+// A nil return means every record staged before the call is fsynced.
 func (l *Log) Sync() error {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	l.mu.Lock()
-	b := l.pending
+	var last *batch
+	if n := len(l.queue); n > 0 {
+		last = l.queue[n-1]
+	}
 	l.mu.Unlock()
-	if b != nil {
-		if l.flushBatch(b) && b.err != nil {
-			return b.err
+	if last != nil {
+		// Flushing the newest queued batch drains everything older first.
+		if !l.flushBatch(last) {
+			<-last.done
+		}
+		if last.err != nil {
+			return last.err
 		}
 	}
 	l.mu.Lock()
@@ -575,7 +647,10 @@ func (l *Log) Sync() error {
 }
 
 // NextSeq returns the sequence number the next Append will receive.
-// Sequences for staged-but-unflushed records are already taken.
+// Sequences for staged-but-unflushed records are already taken, but are
+// returned to the log if their batch's write fails and is repaired — a
+// cutoff derived from NextSeq is only meaningful for records whose
+// durability a Sync barrier has confirmed.
 func (l *Log) NextSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -673,15 +748,22 @@ func (l *Log) Segments() []uint64 {
 	return append([]uint64(nil), l.segments...)
 }
 
-// Close flushes any staged batch, syncs, and closes the active segment.
+// Close flushes all staged batches, syncs, and closes the active segment.
 func (l *Log) Close() error {
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	l.mu.Lock()
-	b := l.pending
+	var last *batch
+	if n := len(l.queue); n > 0 {
+		last = l.queue[n-1]
+	}
 	l.mu.Unlock()
-	if b != nil {
-		l.flushBatch(b) // release any in-flight waiters before closing
+	if last != nil {
+		// Drains every staged batch in order, releasing any in-flight
+		// waiters before the segment goes away.
+		if !l.flushBatch(last) {
+			<-last.done
+		}
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
