@@ -12,6 +12,7 @@
 //	shmbench -fig all            # everything
 //	shmbench -ablation placement # random vs prefer-local vs consistent-hash
 //	shmbench -ablation durability
+//	shmbench -transport          # wire-path microbench: batch vs nobatch x 1/8/64 callers
 //
 // Each data point runs -duration (default 8s) with the first -warmup
 // (default duration/4) discarded, mirroring the paper's dropped first
@@ -36,22 +37,30 @@ func main() {
 	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
 	trace := flag.Bool("trace", false, "trace every request and print tail-latency attribution (figs 8/9)")
 	durable := flag.Bool("durable", false, "rerun figs 8/9 with persistence on the hot path (durable group-committed store, write-every-batch)")
+	transportBench := flag.Bool("transport", false, "run the transport wire-path microbench (batch vs nobatch at 1/8/64 callers)")
 	flag.Parse()
 
-	if *fig == "" && *ablation == "" {
+	if *fig == "" && *ablation == "" && !*transportBench {
 		flag.Usage()
 		os.Exit(2)
 	}
 	opts := bench.FigureOptions{Duration: *duration, Warmup: *warmup, Scale: *scale, Trace: *trace, Durable: *durable}
 	ctx := context.Background()
-	if err := run(ctx, *fig, *ablation, opts); err != nil {
+	if err := run(ctx, *fig, *ablation, *transportBench, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "shmbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, fig, ablation string, opts bench.FigureOptions) error {
+func run(ctx context.Context, fig, ablation string, transportBench bool, opts bench.FigureOptions) error {
 	out := os.Stdout
+	if transportBench {
+		results, err := bench.TransportSweep(ctx, opts.Duration)
+		if err != nil {
+			return err
+		}
+		bench.PrintTransportBench(out, results)
+	}
 	switch fig {
 	case "":
 	case "6":

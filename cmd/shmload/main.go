@@ -34,19 +34,22 @@ func main() {
 	queries := flag.Bool("queries", true, "issue live/raw user queries per org")
 	trace := flag.Bool("trace", false, "trace requests end to end and print insert tail attribution")
 	traceSample := flag.Int("trace-sample", 1, "sample every Nth request when tracing")
+	stripes := flag.Int("stripes", 0, "gob connection stripes per silo (0 = min(4, GOMAXPROCS))")
+	noBatching := flag.Bool("no-batching", false, "disable transport write coalescing (measured baseline)")
 	flag.Parse()
 
 	var tracer *telemetry.Tracer
 	if *trace {
 		tracer = telemetry.New(telemetry.Config{SampleEvery: uint64(*traceSample), Capacity: 1 << 17})
 	}
-	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries, tracer); err != nil {
+	topts := transport.TCPOptions{Stripes: *stripes, NoBatching: *noBatching}
+	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries, tracer, topts); err != nil {
 		log.Fatalf("shmload: %v", err)
 	}
 }
 
-func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool, tracer *telemetry.Tracer) error {
-	tcp, err := transport.NewTCP(name, listen)
+func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool, tracer *telemetry.Tracer, topts transport.TCPOptions) error {
+	tcp, err := transport.NewTCPWithOptions(name, listen, topts)
 	if err != nil {
 		return err
 	}

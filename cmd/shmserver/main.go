@@ -23,6 +23,12 @@
 // tracing (-trace-sample N records every Nth request, -slow-turn D
 // flags turns slower than D).
 //
+// The TCP wire path is tunable: -stripes N opens N parallel gob streams
+// per peer, -no-batching disables write coalescing (the measured
+// baseline), and -net-workers N sizes the inbound dispatch pool. The
+// transport's instruments (transport.flush.*, transport.sendq.depth)
+// share the silo's /metrics page.
+//
 // SIGINT/SIGTERM shuts down gracefully: the introspection endpoint
 // drains first, then the runtime deactivates (and persists) its actors.
 package main
@@ -40,6 +46,7 @@ import (
 	"aodb/internal/cluster"
 	"aodb/internal/core"
 	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
 	"aodb/internal/placement"
 	"aodb/internal/shm"
 	"aodb/internal/telemetry"
@@ -58,6 +65,9 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "enable distributed tracing")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "sample every Nth request when tracing")
 	flag.DurationVar(&cfg.slowTurn, "slow-turn", 250*time.Millisecond, "flag actor turns slower than this")
+	flag.IntVar(&cfg.stripes, "stripes", 0, "gob connection stripes per peer (0 = min(4, GOMAXPROCS))")
+	flag.BoolVar(&cfg.noBatching, "no-batching", false, "disable transport write coalescing (measured baseline)")
+	flag.IntVar(&cfg.netWorkers, "net-workers", 0, "inbound dispatch pool size (0 = default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -74,10 +84,22 @@ type serverConfig struct {
 	trace                                bool
 	traceSample                          int
 	slowTurn                             time.Duration
+	stripes                              int
+	noBatching                           bool
+	netWorkers                           int
 }
 
 func run(ctx context.Context, cfg serverConfig) error {
-	tcp, err := transport.NewTCP(cfg.name, cfg.listen)
+	// One registry for the runtime and the transport, so the wire-path
+	// instruments (transport.flush.*, transport.sendq.depth, ...) land on
+	// the same /metrics page as the actor gauges.
+	reg := metrics.NewRegistry()
+	tcp, err := transport.NewTCPWithOptions(cfg.name, cfg.listen, transport.TCPOptions{
+		Stripes:         cfg.stripes,
+		NoBatching:      cfg.noBatching,
+		DispatchWorkers: cfg.netWorkers,
+		Metrics:         reg,
+	})
 	if err != nil {
 		return err
 	}
@@ -115,6 +137,7 @@ func run(ctx context.Context, cfg serverConfig) error {
 		Store:     store,
 		View:      cluster.NewStaticView(strings.Split(cfg.silos, ",")...),
 		Tracer:    tracer,
+		Metrics:   reg,
 	})
 	if err != nil {
 		return err

@@ -155,3 +155,100 @@ func TestConcurrentWritersDoNotInterleave(t *testing.T) {
 		t.Fatalf("read %d frames, want %d", seen, writers*frames)
 	}
 }
+
+// TestBufferedStreamWriteNoFlush: frames encoded with WriteNoFlush stay
+// in the buffer until Flush, then decode in order on the far side.
+func TestBufferedStreamWriteNoFlush(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewBufferedStream(&buf, 0)
+	for i := 0; i < 5; i++ {
+		if err := s.WriteNoFlush(&Frame{ID: uint64(i), Kind: FrameOneWay, Payload: ping{Seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("bytes reached the writer before Flush: %d", buf.Len())
+	}
+	if s.Buffered() == 0 {
+		t.Fatal("Buffered() = 0 with five encoded frames pending")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Buffered() != 0 {
+		t.Fatalf("Buffered() = %d after Flush", s.Buffered())
+	}
+	for i := 0; i < 5; i++ {
+		f, err := s.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.ID != uint64(i) || f.Payload.(ping).Seq != i {
+			t.Fatalf("frame %d = %+v", i, f)
+		}
+	}
+}
+
+// TestBufferedStreamWriteFlushes: plain Write on a buffered stream keeps
+// unbuffered semantics — the frame is on the wire when Write returns.
+func TestBufferedStreamWriteFlushes(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewBufferedStream(&buf, 0)
+	if err := s.Write(&Frame{ID: 9, Kind: FrameRequest, Payload: ping{Seq: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("Write on buffered stream did not flush")
+	}
+	f, err := s.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != 9 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+// TestUnbufferedStreamBatchingAPI: the batching entry points degrade to
+// plain writes on unbuffered streams, so one writer implementation can
+// drive both flavors.
+func TestUnbufferedStreamBatchingAPI(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	if err := s.WriteNoFlush(&Frame{ID: 1, Kind: FrameOneWay, Payload: ping{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("WriteNoFlush on unbuffered stream did not reach the writer")
+	}
+	if s.Buffered() != 0 {
+		t.Fatalf("Buffered() = %d on unbuffered stream", s.Buffered())
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush on unbuffered stream: %v", err)
+	}
+	if f, err := s.Read(); err != nil || f.ID != 1 {
+		t.Fatalf("frame, err = %+v, %v", f, err)
+	}
+}
+
+// TestFramePoolReset: a pooled frame comes back zeroed, so stale header
+// fields or payloads can never leak into the next message.
+func TestFramePoolReset(t *testing.T) {
+	f := GetFrame()
+	f.ID = 123
+	f.Kind = FrameError
+	f.TargetKey = "stale"
+	f.Chain = []string{"a", "b"}
+	f.Payload = ping{Seq: 1}
+	f.Err = "stale"
+	PutFrame(f)
+	PutFrame(nil) // must not panic
+	for i := 0; i < 16; i++ {
+		g := GetFrame()
+		if g.ID != 0 || g.Kind != 0 || g.TargetKey != "" || g.Chain != nil || g.Payload != nil || g.Err != "" {
+			t.Fatalf("pooled frame not reset: %+v", g)
+		}
+		PutFrame(g)
+	}
+}

@@ -16,9 +16,10 @@ import (
 //	Exec      Σ handler self time (net of nested calls and storage)
 //	StoreRead / StoreWrite  Σ storage time incl. throttling waits (write
 //	          time is reported net of flush waits)
-//	FlushWait Σ time blocked on durable-mode WAL group-commit flushes —
-//	          split out of StoreWrite so durable-mode tails can be
-//	          attributed to the fsync path specifically
+//	FlushWait Σ time blocked on batched flushes — durable-mode WAL group
+//	          commits (split out of StoreWrite so durable-mode tails can
+//	          be attributed to the fsync path specifically) and the
+//	          transport's write-coalescing queue
 //	Network   the residual: end-to-end minus everything above — transport
 //	          latency, encode/decode, retry backoff, and scheduling slop
 //

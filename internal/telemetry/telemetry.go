@@ -69,8 +69,10 @@ func (k SpanKind) String() string {
 //	Nested     time blocked inside nested actor Calls/Tells
 //	StoreRead  kvstore read time (including provisioned-throughput waits)
 //	StoreWrite kvstore write time (ditto)
-//	FlushWait  portion of StoreWrite spent blocked on the WAL group-commit
-//	           flush in durable mode (ack ⇒ fsynced)
+//	FlushWait  time blocked on batched-flush paths: the WAL group-commit
+//	           flush in durable mode (ack ⇒ fsynced, inside StoreWrite)
+//	           and the transport's write-coalescing queue (enqueue to
+//	           wire)
 //
 // The accumulating fields are written with atomic adds so helpers called
 // from storage or nested-call paths can never race the turn goroutine.
@@ -119,10 +121,11 @@ func (s *Span) AddStoreWrite(d time.Duration) {
 	addDur(&s.StoreWrite, d)
 }
 
-// AddFlushWait attributes time spent blocked on a durable-mode WAL
-// group-commit flush. The same interval is also part of StoreWrite (the
-// flush wait happens inside a storage write), so attribution reports
-// store-write net of flush waits.
+// AddFlushWait attributes time spent blocked on a batched flush: a
+// durable-mode WAL group-commit, or the transport's write-coalescing
+// queue between enqueue and wire. WAL flush waits are also part of
+// StoreWrite (they happen inside a storage write), so attribution
+// reports store-write net of flush waits.
 func (s *Span) AddFlushWait(d time.Duration) {
 	if s == nil {
 		return
