@@ -11,15 +11,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 	"time"
 
 	"aodb/internal/bench"
-	"aodb/internal/cluster"
-	"aodb/internal/core"
-	"aodb/internal/placement"
 	"aodb/internal/shm"
-	"aodb/internal/telemetry"
+	"aodb/internal/siloboot"
 	"aodb/internal/transport"
 )
 
@@ -38,48 +34,36 @@ func main() {
 	noBatching := flag.Bool("no-batching", false, "disable transport write coalescing (measured baseline)")
 	flag.Parse()
 
-	var tracer *telemetry.Tracer
-	if *trace {
-		tracer = telemetry.New(telemetry.Config{SampleEvery: uint64(*traceSample), Capacity: 1 << 17})
+	opts := siloboot.Options{
+		Name:          *name,
+		Listen:        *listen,
+		Silos:         *silos,
+		Peers:         *peers,
+		TCP:           transport.TCPOptions{Stripes: *stripes, NoBatching: *noBatching},
+		Trace:         *trace,
+		TraceSample:   *traceSample,
+		TraceCapacity: 1 << 17,
 	}
-	topts := transport.TCPOptions{Stripes: *stripes, NoBatching: *noBatching}
-	if err := run(*name, *listen, *silos, *peers, *sensors, *duration, *warmup, *queries, tracer, topts); err != nil {
+	if err := run(opts, *sensors, *duration, *warmup, *queries); err != nil {
 		log.Fatalf("shmload: %v", err)
 	}
 }
 
-func run(name, listen, silos, peers string, sensors int, duration, warmup time.Duration, queries bool, tracer *telemetry.Tracer, topts transport.TCPOptions) error {
-	tcp, err := transport.NewTCPWithOptions(name, listen, topts)
+func run(opts siloboot.Options, sensors int, duration, warmup time.Duration, queries bool) error {
+	// The client shares the silo bring-up path (transport, placement,
+	// static view, tracing) but never calls AddSilo: placement only
+	// selects names in the -silos view, so no actor activates here.
+	node, err := siloboot.Start(opts)
 	if err != nil {
 		return err
 	}
-	for _, pair := range strings.Split(peers, ",") {
-		pair = strings.TrimSpace(pair)
-		if pair == "" {
-			continue
-		}
-		if n, addr, ok := strings.Cut(pair, "="); ok {
-			tcp.SetPeer(n, addr)
-		}
-	}
-	hash := placement.NewConsistentHash()
-	hash.PrefixSep = '@'
-	rt, err := core.New(core.Config{
-		Transport: tcp,
-		Placement: hash,
-		View:      cluster.NewStaticView(strings.Split(silos, ",")...),
-		Tracer:    tracer,
-	})
-	if err != nil {
-		return err
-	}
+	rt := node.Runtime
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		rt.Shutdown(ctx)
 	}()
-	// The client registers the same kinds so the runtime can route them;
-	// placement never selects the client, so no actor activates here.
+	// The client registers the same kinds so the runtime can route them.
 	platform, err := shm.NewPlatform(rt, shm.Options{})
 	if err != nil {
 		return err
@@ -123,13 +107,13 @@ func run(name, listen, silos, peers string, sensors int, duration, warmup time.D
 	if rec.Errors() > 0 {
 		fmt.Printf("  errors: %d\n", rec.Errors())
 	}
-	if tracer != nil {
+	if node.Tracer != nil {
 		// The client only holds root spans; per-turn component data lives
 		// on each silo's tracer (serve it with `shmserver -trace
 		// -introspect` and read /trace). From this vantage the whole
 		// request is network+remote time, so the table reports end-to-end
 		// totals and what the self-healing call path absorbed.
-		spans := tracer.Spans()
+		spans := node.Tracer.Spans()
 		var retries, hops int32
 		for _, sp := range spans {
 			retries += sp.Retries

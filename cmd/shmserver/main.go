@@ -18,10 +18,24 @@
 // write block until its WAL record is fsynced, group-committed across
 // concurrent writers. With -introspect ADDR the silo
 // serves its runtime state over HTTP: /metrics (Prometheus text),
-// /trace (recent sampled spans; ?slow=1 for slow turns), and /actors
-// (per-silo activation and mailbox gauges). -trace enables distributed
-// tracing (-trace-sample N records every Nth request, -slow-turn D
-// flags turns slower than D).
+// /trace (recent sampled spans; ?slow=1 for slow turns), /actors
+// (per-silo activation and mailbox gauges), and /obs (the mergeable
+// observability snapshot the cluster aggregator and shmtop consume).
+// -trace enables distributed tracing (-trace-sample N records every Nth
+// request, -slow-turn D flags turns slower than D).
+//
+// Observability is opt-in, preserving the one-atomic-check disabled
+// contract on the hot path:
+//
+//   - -profile accounts per-actor CPU, turns, mailbox high-water marks,
+//     and state sizes in a bounded K-slot heavy-hitter sketch
+//     (-profile-k sizes it), surfaced on /obs, /metrics, and shmtop.
+//   - -pprof mounts net/http/pprof under /debug/pprof/ on the
+//     introspection port for on-demand CPU/heap profiles.
+//   - -history runs the cluster aggregator in-process: the silo scrapes
+//     itself (and any -obs-peers name=url endpoints), keeps a ring of
+//     recent merged percentiles, and serves /cluster, /cluster/history,
+//     and /cluster/prom from its introspection port.
 //
 // The TCP wire path is tunable: -stripes N opens N parallel gob streams
 // per peer, -no-batching disables write coalescing (the measured
@@ -39,17 +53,14 @@ import (
 	"fmt"
 	"log"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
-	"aodb/internal/cluster"
 	"aodb/internal/core"
 	"aodb/internal/kvstore"
-	"aodb/internal/metrics"
-	"aodb/internal/placement"
+	"aodb/internal/obs"
 	"aodb/internal/shm"
-	"aodb/internal/telemetry"
+	"aodb/internal/siloboot"
 	"aodb/internal/transport"
 )
 
@@ -65,6 +76,12 @@ func main() {
 	flag.BoolVar(&cfg.trace, "trace", false, "enable distributed tracing")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "sample every Nth request when tracing")
 	flag.DurationVar(&cfg.slowTurn, "slow-turn", 250*time.Millisecond, "flag actor turns slower than this")
+	flag.BoolVar(&cfg.profile, "profile", false, "account per-actor hot spots (CPU, turns, mailbox high-water) in a bounded sketch")
+	flag.IntVar(&cfg.profileK, "profile-k", 64, "hot-actor sketch slots (memory is O(K) regardless of actor count)")
+	flag.BoolVar(&cfg.pprofOn, "pprof", false, "mount /debug/pprof on the introspection port")
+	flag.BoolVar(&cfg.history, "history", false, "aggregate cluster metrics in-process and serve /cluster with history")
+	flag.StringVar(&cfg.obsPeers, "obs-peers", "", "comma-separated name=url introspection endpoints to aggregate with -history")
+	flag.DurationVar(&cfg.historyEvery, "history-every", 2*time.Second, "aggregator poll interval with -history")
 	flag.IntVar(&cfg.stripes, "stripes", 0, "gob connection stripes per peer (0 = min(4, GOMAXPROCS))")
 	flag.BoolVar(&cfg.noBatching, "no-batching", false, "disable transport write coalescing (measured baseline)")
 	flag.IntVar(&cfg.netWorkers, "net-workers", 0, "inbound dispatch pool size (0 = default)")
@@ -84,34 +101,21 @@ type serverConfig struct {
 	trace                                bool
 	traceSample                          int
 	slowTurn                             time.Duration
+	profile                              bool
+	profileK                             int
+	pprofOn                              bool
+	history                              bool
+	obsPeers                             string
+	historyEvery                         time.Duration
 	stripes                              int
 	noBatching                           bool
 	netWorkers                           int
 }
 
 func run(ctx context.Context, cfg serverConfig) error {
-	// One registry for the runtime and the transport, so the wire-path
-	// instruments (transport.flush.*, transport.sendq.depth, ...) land on
-	// the same /metrics page as the actor gauges.
-	reg := metrics.NewRegistry()
-	tcp, err := transport.NewTCPWithOptions(cfg.name, cfg.listen, transport.TCPOptions{
-		Stripes:         cfg.stripes,
-		NoBatching:      cfg.noBatching,
-		DispatchWorkers: cfg.netWorkers,
-		Metrics:         reg,
-	})
-	if err != nil {
-		return err
-	}
-	for _, pair := range splitPairs(cfg.peers) {
-		tcp.SetPeer(pair[0], pair[1])
-	}
-	// Circuit breakers between silos: a dead peer fails fast instead of
-	// stalling every call during its dial timeout.
-	breaker := transport.NewBreaker(tcp, transport.BreakerOptions{})
-
 	var store *kvstore.Store
 	if cfg.storeDir != "" {
+		var err error
 		store, err = kvstore.Open(kvstore.Options{Dir: cfg.storeDir, Durable: cfg.durable})
 		if err != nil {
 			return err
@@ -121,27 +125,30 @@ func run(ctx context.Context, cfg serverConfig) error {
 		return fmt.Errorf("-durable needs -store DIR")
 	}
 
-	var tracer *telemetry.Tracer
-	if cfg.trace {
-		tracer = telemetry.New(telemetry.Config{
-			SampleEvery: uint64(cfg.traceSample),
-			SlowTurn:    cfg.slowTurn,
-		})
-	}
-
-	hash := placement.NewConsistentHash()
-	hash.PrefixSep = '@'
-	rt, err := core.New(core.Config{
-		Transport: breaker,
-		Placement: hash,
-		Store:     store,
-		View:      cluster.NewStaticView(strings.Split(cfg.silos, ",")...),
-		Tracer:    tracer,
-		Metrics:   reg,
+	node, err := siloboot.Start(siloboot.Options{
+		Name:   cfg.name,
+		Listen: cfg.listen,
+		Silos:  cfg.silos,
+		Peers:  cfg.peers,
+		TCP: transport.TCPOptions{
+			Stripes:         cfg.stripes,
+			NoBatching:      cfg.noBatching,
+			DispatchWorkers: cfg.netWorkers,
+		},
+		// Circuit breakers between silos: a dead peer fails fast instead
+		// of stalling every call during its dial timeout.
+		Breaker:     true,
+		Store:       store,
+		Trace:       cfg.trace,
+		TraceSample: cfg.traceSample,
+		SlowTurn:    cfg.slowTurn,
+		Profile:     cfg.profile,
+		ProfileK:    cfg.profileK,
 	})
 	if err != nil {
 		return err
 	}
+	rt := node.Runtime
 	persist := core.PersistNone
 	if store != nil {
 		persist = core.PersistOnDeactivate
@@ -152,27 +159,37 @@ func run(ctx context.Context, cfg serverConfig) error {
 	if _, err := rt.AddSilo(cfg.name, nil); err != nil {
 		return err
 	}
-	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", cfg.name, tcp.Addr(), cfg.silos)
+	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", cfg.name, node.TCP.Addr(), cfg.silos)
 
 	// The introspection endpoint shares the signal context: on SIGINT it
 	// drains in-flight scrapes before the runtime goes away underneath it.
 	httpDone := make(chan error, 1)
 	if cfg.introspect != "" {
-		in := &telemetry.Introspection{
-			Registry: rt.Metrics(),
-			Tracer:   tracer,
-			Runtime:  rt,
-			Breakers: breaker.States,
+		in := node.Introspection(cfg.pprofOn)
+		if cfg.history {
+			agg := obs.New(obs.Config{
+				Targets:  obsTargets(cfg.obsPeers),
+				Interval: cfg.historyEvery,
+			})
+			agg.AddLocal(cfg.name, in.Obs)
+			go agg.Run(ctx)
+			in.Extra = agg.Register
 		}
 		ready := make(chan string, 1)
 		go func() { httpDone <- in.Serve(ctx, cfg.introspect, ready) }()
 		select {
 		case addr := <-ready:
 			fmt.Printf("shmserver: introspection on http://%s\n", addr)
+			if cfg.history {
+				fmt.Printf("shmserver: cluster aggregation on http://%s/cluster\n", addr)
+			}
 		case err := <-httpDone:
 			return fmt.Errorf("introspection endpoint: %w", err)
 		}
 	} else {
+		if cfg.history || cfg.pprofOn {
+			return fmt.Errorf("-history and -pprof need -introspect ADDR")
+		}
 		httpDone <- nil
 	}
 
@@ -186,16 +203,14 @@ func run(ctx context.Context, cfg serverConfig) error {
 	return rt.Shutdown(shCtx)
 }
 
-func splitPairs(s string) [][2]string {
-	var out [][2]string
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+func obsTargets(pairs string) []obs.Target {
+	var out []obs.Target
+	for _, p := range siloboot.SplitPairs(pairs) {
+		url := p[1]
+		if len(url) > 0 && url[0] != 'h' {
+			url = "http://" + url
 		}
-		if name, addr, ok := strings.Cut(part, "="); ok {
-			out = append(out, [2]string{name, addr})
-		}
+		out = append(out, obs.Target{Name: p[0], URL: url})
 	}
 	return out
 }

@@ -1,0 +1,274 @@
+// Command shmtop is a live terminal view of an SHM cluster — top(1) for
+// virtual actors. Each frame shows per-silo load (activations, mailbox
+// backlog, capacity utilization, scrape health), cluster-wide tail
+// latency percentiles from the merged HDR histograms, and the K hottest
+// actors with CPU-share, turn, and queue attribution from the merged
+// heavy-hitter sketches.
+//
+// Point it at silo introspection endpoints directly (it embeds the
+// cluster aggregator):
+//
+//	shmtop -silos silo-1=127.0.0.1:9101,silo-2=127.0.0.1:9102
+//
+// or at a silo already aggregating with `shmserver -history`:
+//
+//	shmtop -cluster http://127.0.0.1:9101
+//
+// -once renders a single frame and exits (scriptable; the CI smoke test
+// uses it), -interval sets the refresh period, -k the hot-actor rows.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"aodb/internal/obs"
+	"aodb/internal/siloboot"
+)
+
+func main() {
+	cluster := flag.String("cluster", "", "URL of an aggregating silo (shmserver -history); reads its /cluster")
+	silos := flag.String("silos", "", "comma-separated name=url silo introspection endpoints to scrape directly")
+	interval := flag.Duration("interval", 2*time.Second, "refresh period")
+	k := flag.Int("k", 10, "hot-actor rows to show")
+	once := flag.Bool("once", false, "render one frame and exit")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-scrape timeout")
+	flag.Parse()
+
+	if (*cluster == "") == (*silos == "") {
+		fmt.Fprintln(os.Stderr, "shmtop: need exactly one of -cluster URL or -silos name=url,...")
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fetch := newFetcher(*cluster, *silos, *timeout)
+	for {
+		snap, err := fetch(ctx)
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "shmtop: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("shmtop: %v (retrying)\n", err)
+		} else {
+			frame := render(snap, *k)
+			if *once {
+				fmt.Print(frame)
+				return
+			}
+			// Clear screen + home, like top(1).
+			fmt.Print("\x1b[2J\x1b[H" + frame)
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// newFetcher returns the snapshot source: either a remote aggregator's
+// /cluster endpoint or an embedded aggregator over the given silos.
+func newFetcher(cluster, silos string, timeout time.Duration) func(context.Context) (obs.ClusterSnapshot, error) {
+	if cluster != "" {
+		client := &http.Client{Timeout: timeout}
+		url := strings.TrimSuffix(cluster, "/")
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url += "/cluster"
+		return func(ctx context.Context) (obs.ClusterSnapshot, error) {
+			var snap obs.ClusterSnapshot
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return snap, err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return snap, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return snap, fmt.Errorf("%s returned %s", url, resp.Status)
+			}
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+			return snap, err
+		}
+	}
+	var targets []obs.Target
+	for _, p := range siloboot.SplitPairs(silos) {
+		url := p[1]
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		targets = append(targets, obs.Target{Name: p[0], URL: url})
+	}
+	agg := obs.New(obs.Config{Targets: targets, Timeout: timeout})
+	return func(ctx context.Context) (obs.ClusterSnapshot, error) {
+		return agg.PollOnce(ctx), nil
+	}
+}
+
+func render(snap obs.ClusterSnapshot, k int) string {
+	var b strings.Builder
+	up := 0
+	for _, s := range snap.Silos {
+		if s.Ok {
+			up++
+		}
+	}
+	fmt.Fprintf(&b, "shmtop — %s — %d/%d silos up", snap.Now.Format("15:04:05"), up, len(snap.Silos))
+	if snap.Partial {
+		b.WriteString("  [PARTIAL: stale or missing silos]")
+	}
+	b.WriteString("\n\n")
+
+	// Per-silo load.
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SILO\tSTATE\tACTORS\tMAILBOX\tMAXBOX\tUTIL\tAGE")
+	for _, s := range snap.Silos {
+		state := "up"
+		switch {
+		case s.Stale:
+			state = "STALE"
+		case !s.Ok:
+			state = "DOWN"
+		}
+		actors, depth, maxbox, util := "-", "-", "-", "-"
+		if s.Snapshot != nil && s.Snapshot.Runtime != nil {
+			var a, d, m int
+			u := -1.0
+			for _, ss := range s.Snapshot.Runtime.Silos {
+				a += ss.Activations
+				d += ss.MailboxDepth
+				if ss.MailboxMax > m {
+					m = ss.MailboxMax
+				}
+				if ss.Utilization > u {
+					u = ss.Utilization
+				}
+			}
+			actors, depth, maxbox = fmt.Sprint(a), fmt.Sprint(d), fmt.Sprint(m)
+			if u >= 0 {
+				util = fmt.Sprintf("%.0f%%", u*100)
+			}
+		}
+		age := "-"
+		if s.AgeSeconds > 0 {
+			age = fmt.Sprintf("%.0fs", s.AgeSeconds)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n", s.Name, state, actors, depth, maxbox, util, age)
+	}
+	tw.Flush()
+
+	// Merged tail percentiles, busiest histograms first.
+	names := make([]string, 0, len(snap.Hists))
+	for name, h := range snap.Hists {
+		if h.Count > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if snap.Hists[names[i]].Count != snap.Hists[names[j]].Count {
+			return snap.Hists[names[i]].Count > snap.Hists[names[j]].Count
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 0 {
+		b.WriteString("\nTAIL LATENCY (merged HDR histograms)\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "METRIC\tCOUNT\tP50\tP90\tP99\tP99.9\tMAX")
+		const maxRows = 8
+		for i, name := range names {
+			if i == maxRows {
+				fmt.Fprintf(tw, "… %d more\t\t\t\t\t\t\n", len(names)-maxRows)
+				break
+			}
+			h := snap.Hists[name]
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n", name, h.Count,
+				dur(h.Percentile(50)), dur(h.Percentile(90)), dur(h.Percentile(99)),
+				dur(h.Percentile(99.9)), dur(h.Max))
+		}
+		tw.Flush()
+	}
+
+	// Hot actors.
+	if len(snap.HotActors) > 0 {
+		b.WriteString("\nHOT ACTORS (cluster-wide top-K, space-saving sketch)\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "ACTOR\tSILO\tCPU\tSHARE\tTURNS\tMAXBOX\tSTATE")
+		rows := snap.HotActors
+		if len(rows) > k {
+			rows = rows[:k]
+		}
+		for _, e := range rows {
+			share := "-"
+			if snap.ProfCPUNanos > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(e.Count)/float64(snap.ProfCPUNanos))
+			}
+			state := "-"
+			if e.Bytes > 0 {
+				state = bytesStr(e.Bytes)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\t%d\t%s\n",
+				e.Key, e.Label, dur(e.Count), share, e.Turns, e.HighWater, state)
+		}
+		tw.Flush()
+	}
+
+	// Per-kind aggregates.
+	if len(snap.Kinds) > 0 {
+		b.WriteString("\nKINDS\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "KIND\tTURNS\tCPU\tMAXBOX\tMAXSTATE")
+		for _, kp := range snap.Kinds {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n",
+				kp.Kind, kp.Turns, dur(kp.CPUNanos), kp.MailboxHWM, bytesStr(kp.MaxStateBytes))
+		}
+		tw.Flush()
+	}
+	return b.String()
+}
+
+// dur renders nanoseconds compactly.
+func dur(ns int64) string {
+	if ns <= 0 {
+		return "0"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func bytesStr(n int64) string {
+	switch {
+	case n <= 0:
+		return "-"
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aodb/internal/metrics"
+	"aodb/internal/obs"
+	"aodb/internal/telemetry"
+)
+
+// TestRenderAgainstLiveSilo drives the full shmtop pipeline: a real
+// introspection endpoint, the embedded aggregator, and the frame
+// renderer — the same path `shmtop -silos ... -once` takes.
+func TestRenderAgainstLiveSilo(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("shm.call_latency")
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i) * int64(time.Millisecond))
+	}
+	prof := telemetry.NewProfiler(telemetry.ProfilerConfig{K: 8})
+	prof.ObserveTurn("Sensor/hot", "Sensor", "silo-1", 40*time.Millisecond, 7)
+	prof.ObserveTurn("Sensor/warm", "Sensor", "silo-1", 10*time.Millisecond, 2)
+	in := &telemetry.Introspection{Registry: reg, Profiler: prof, Name: "silo-1"}
+	srv := httptest.NewServer(in.Handler())
+	defer srv.Close()
+
+	fetch := newFetcher("", "silo-1="+srv.URL, time.Second)
+	snap, err := fetch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := render(snap, 10)
+	for _, want := range []string{
+		"1/1 silos up",
+		"shm.call_latency",
+		"HOT ACTORS",
+		"Sensor/hot",
+		"silo-1",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	// The hottest actor renders above the cooler one.
+	if strings.Index(frame, "Sensor/hot") > strings.Index(frame, "Sensor/warm") {
+		t.Fatalf("hot actor not ranked first:\n%s", frame)
+	}
+}
+
+func TestRenderMarksDownSilo(t *testing.T) {
+	agg := obs.New(obs.Config{
+		Targets: []obs.Target{{Name: "ghost", URL: "http://127.0.0.1:1"}},
+		Timeout: 200 * time.Millisecond,
+	})
+	snap := agg.PollOnce(context.Background())
+	frame := render(snap, 5)
+	if !strings.Contains(frame, "PARTIAL") || !strings.Contains(frame, "DOWN") {
+		t.Fatalf("down silo not surfaced:\n%s", frame)
+	}
+}
+
+func TestDurAndBytesFormat(t *testing.T) {
+	if got := dur(500); got != "500ns" {
+		t.Fatalf("dur = %q", got)
+	}
+	if got := dur(int64(3 * time.Millisecond)); got != "3.0ms" {
+		t.Fatalf("dur = %q", got)
+	}
+	if got := dur(int64(2500 * time.Nanosecond)); got != "2.5µs" {
+		t.Fatalf("dur = %q", got)
+	}
+	if got := bytesStr(2048); got != "2.0KiB" {
+		t.Fatalf("bytesStr = %q", got)
+	}
+}

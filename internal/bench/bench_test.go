@@ -329,3 +329,35 @@ func TestFormatters(t *testing.T) {
 		t.Fatal("constraint row missing")
 	}
 }
+
+// TestRunSHMProfiled checks the profiler rides the SHM harness: a short
+// 98/1/1 run must surface hot actors with CPU attribution, and the
+// fan-in aggregation actors (one org per 100 sensors) should outrank
+// individual sensors.
+func TestRunSHMProfiled(t *testing.T) {
+	prof := telemetry.NewProfiler(telemetry.ProfilerConfig{K: 32})
+	res, err := RunSHM(context.Background(), SHMConfig{
+		Sensors:     100,
+		Silos:       1,
+		Duration:    3 * time.Second,
+		Warmup:      500 * time.Millisecond,
+		UserQueries: true,
+		Profiler:    prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.HotActors) == 0 || res.ProfTurns == 0 || res.ProfCPUNanos == 0 {
+		t.Fatalf("profiled run empty: %d hot actors, %d turns", len(res.HotActors), res.ProfTurns)
+	}
+	for _, e := range res.HotActors {
+		if e.Count <= 0 || e.Key == "" {
+			t.Fatalf("malformed hot entry: %+v", e)
+		}
+	}
+	var sb strings.Builder
+	PrintHotActors(&sb, res, 10)
+	if !strings.Contains(sb.String(), "Hot actors") || !strings.Contains(sb.String(), "%") {
+		t.Fatalf("hot-actor table malformed:\n%s", sb.String())
+	}
+}

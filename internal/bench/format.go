@@ -94,6 +94,29 @@ func PrintFigure9(w io.Writer, results []SHMResult) {
 	printPercentileTable(w, results, func(r SHMResult) metrics.Snapshot { return r.Live })
 }
 
+// PrintHotActors renders a profiled run's top-K heavy hitters with their
+// CPU share of the whole run, the attribution table shmtop shows live.
+func PrintHotActors(w io.Writer, r SHMResult, k int) {
+	fmt.Fprintf(w, "Hot actors — top %d of %d turns (%s CPU attributed, %d sensors, 98/1/1 mix)\n",
+		k, r.ProfTurns, ms(time.Duration(r.ProfCPUNanos)), r.Sensors*r.Config.Scale)
+	tw := newTable(w)
+	fmt.Fprintln(tw, "actor\tcpu\terr ≤\tshare\tturns\tmailbox hwm")
+	rows := r.HotActors
+	if len(rows) > k {
+		rows = rows[:k]
+	}
+	for _, e := range rows {
+		share := 0.0
+		if r.ProfCPUNanos > 0 {
+			share = 100 * float64(e.Count) / float64(r.ProfCPUNanos)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.1f%%\t%d\t%d\n",
+			e.Key, ms(time.Duration(e.Count)), ms(time.Duration(e.Err)), share, e.Turns, e.HighWater)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "(cpu is a space-saving sketch count: an overestimate by at most its err column)")
+}
+
 // PrintPlacement renders the placement ablation.
 // PrintAttribution renders the insert-class tail-latency component
 // tables of a traced figure run (one table per data point).

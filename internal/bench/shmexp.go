@@ -45,6 +45,10 @@ type SHMConfig struct {
 	// records spans; the result then carries the insert-class tail
 	// attribution at p50/p99/p99.9.
 	Tracer *telemetry.Tracer
+	// Profiler, when non-nil, is installed on the runtime so every turn
+	// feeds per-actor hot-spot accounting; the result then carries the
+	// top-K hot-actor table.
+	Profiler *telemetry.ActorProfiler
 }
 
 // SHMResult is one experiment data point.
@@ -65,6 +69,12 @@ type SHMResult struct {
 	// Attribution is the insert-request tail-latency component table,
 	// present when the run was traced (Config.Tracer non-nil).
 	Attribution *telemetry.AttributionTable
+	// HotActors is the profiler's top-K heavy-hitter list (Config.Profiler
+	// non-nil), with ProfTurns/ProfCPUNanos the totals shares are
+	// computed against.
+	HotActors    []metrics.TopKEntry
+	ProfTurns    int64
+	ProfCPUNanos int64
 }
 
 func (c *SHMConfig) fill() error {
@@ -134,6 +144,7 @@ func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
 		IdleAfter:    time.Hour,
 		CollectEvery: time.Hour,
 		Tracer:       cfg.Tracer,
+		Profiler:     cfg.Profiler,
 	})
 	if err != nil {
 		return SHMResult{}, err
@@ -218,7 +229,43 @@ func RunSHM(ctx context.Context, cfg SHMConfig) (SHMResult, error) {
 		tab := TailAttribution(cfg.Tracer.Spans(), ReqInsert, []float64{50, 99, 99.9})
 		res.Attribution = &tab
 	}
+	if cfg.Profiler != nil {
+		res.HotActors = cfg.Profiler.HotActors()
+		res.ProfTurns, res.ProfCPUNanos = cfg.Profiler.Totals()
+	}
 	return res, nil
+}
+
+// HotActorExperiment profiles the paper's 98/1/1 skewed workload: the
+// Figures-8/9 configuration (one m5.xlarge silo, user queries on) with
+// the hot-spot profiler installed, returning the top-K hot actors. Org
+// and user actors fan 100 sensors' traffic into single activations, so
+// they should dominate the per-actor CPU ranking — the attribution the
+// shmtop HOT ACTORS panel surfaces in production.
+func HotActorExperiment(ctx context.Context, sensors, k int, opts FigureOptions) (SHMResult, error) {
+	opts.fill()
+	if sensors <= 0 {
+		sensors = 2000
+	}
+	// The sketch's per-entry error bound is TotalCPU/K; with thousands of
+	// lightly-loaded sensor actors in the mix, K must be well above the
+	// inverse of the heaviest actor's CPU share or the evict-min floor
+	// drowns the true ranking. A thousand counters is still O(K) bounded
+	// memory — a few hundred KB against an unbounded actor population.
+	if k < 1024 {
+		k = 1024
+	}
+	prof := telemetry.NewProfiler(telemetry.ProfilerConfig{K: k})
+	return RunSHM(ctx, SHMConfig{
+		Sensors:     sensors,
+		Silos:       1,
+		Profile:     capacity.M5XLarge,
+		Scale:       opts.Scale,
+		Duration:    opts.Duration,
+		Warmup:      opts.Warmup,
+		UserQueries: true,
+		Profiler:    prof,
+	})
 }
 
 // FigureOptions tune how long each data point runs.

@@ -152,17 +152,31 @@ func (a *activation) turn(env envelope) (panicked error) {
 			a.cur = sp
 		}
 	}
+	// The hot-spot profiler accounts every turn (not just sampled ones):
+	// mailbox backlog at turn start, then CPU after the turn completes.
+	// Disabled profiling pays exactly this one check.
+	prof := a.silo.rt.profiler
+	profiling := prof.Enabled()
+	var profDepth int
+	if profiling {
+		profDepth = a.box.depth()
+		if tm == nil {
+			tm = new(capacity.TurnTiming)
+		}
+	}
+	timeExec := sp != nil || profiling
 	cost := a.silo.rt.costOf(a.id, env.msg)
 	var turnErr error
+	var execDur time.Duration
 	err := a.silo.limiter.ExecuteTimed(ctx, cost, func() error {
 		cctx := a.context(ctx, env.chain)
 		var execStart time.Time
-		if sp != nil {
+		if timeExec {
 			execStart = a.silo.rt.clk.Now()
 		}
 		v, err := a.invoke(cctx, env.msg)
-		if sp != nil {
-			sp.Exec = a.silo.rt.clk.Since(execStart)
+		if timeExec {
+			execDur = a.silo.rt.clk.Since(execStart)
 		}
 		turnErr = err
 		if perr, ok := err.(*PanicError); ok {
@@ -181,10 +195,16 @@ func (a *activation) turn(env envelope) (panicked error) {
 		}
 	}
 	if sp != nil {
+		sp.Exec = execDur
 		sp.CPUWait = tm.SlotWait
 		sp.CPUBurn = tm.Burn
 		a.cur = nil
 		tr.Finish(sp, turnErr)
+	}
+	if profiling {
+		// CPU attribution: simulated burn (dominant on capacity-limited
+		// silos) plus real handler wall time (dominant without a limiter).
+		prof.ObserveTurn(a.id.String(), a.id.Kind, a.silo.name, tm.Burn+execDur, profDepth)
 	}
 	if !turnStart.IsZero() {
 		tr.ObserveTurn(a.id.Kind, a.silo.rt.clk.Since(turnStart))
@@ -279,6 +299,9 @@ func (a *activation) loadState(ctx context.Context) error {
 		return fmt.Errorf("core: corrupt state for %s: %w", a.id, err)
 	}
 	a.stateVersion = it.Version
+	if prof := a.silo.rt.profiler; prof.Enabled() {
+		prof.ObserveState(a.id.String(), a.id.Kind, len(it.Value))
+	}
 	return nil
 }
 
@@ -311,6 +334,9 @@ func (a *activation) writeState(ctx context.Context) error {
 	}
 	a.stateVersion = next
 	a.silo.metrics.Counter("core.state_writes").Inc()
+	if prof := a.silo.rt.profiler; prof.Enabled() {
+		prof.ObserveState(a.id.String(), a.id.Kind, len(data))
+	}
 	return nil
 }
 

@@ -119,6 +119,10 @@ type Config struct {
 	// (or a disabled tracer) costs one nil-or-atomic check per message,
 	// mirroring the internal/faults contract.
 	Tracer *telemetry.Tracer
+	// Profiler enables per-activation hot-spot accounting (CPU burn, turn
+	// counts, mailbox high-water marks, state sizes) under the same
+	// contract: nil or disabled costs one nil-or-atomic check per turn.
+	Profiler *telemetry.ActorProfiler
 }
 
 // Runtime is an actor-oriented database instance: a set of silos, a grain
@@ -129,7 +133,8 @@ type Runtime struct {
 	retry      RetryPolicy // cfg.Retry with defaults resolved
 	directory  *directory.Directory
 	metrics    *metrics.Registry
-	tracer     *telemetry.Tracer // nil = tracing off
+	tracer     *telemetry.Tracer        // nil = tracing off
+	profiler   *telemetry.ActorProfiler // nil = profiling off
 	stateTable *kvstore.Table
 	reminders  *systemstore.Store
 
@@ -174,6 +179,7 @@ func New(cfg Config) (*Runtime, error) {
 		directory: directory.New(),
 		metrics:   cfg.Metrics,
 		tracer:    cfg.Tracer,
+		profiler:  cfg.Profiler,
 		kinds:     make(map[string]*kindConfig),
 		silos:     make(map[string]*Silo),
 	}
@@ -355,6 +361,10 @@ func (rt *Runtime) Metrics() *metrics.Registry { return rt.metrics }
 
 // Tracer exposes the runtime's tracer; nil when tracing is not configured.
 func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
+
+// Profiler exposes the runtime's hot-spot profiler; nil when profiling is
+// not configured.
+func (rt *Runtime) Profiler() *telemetry.ActorProfiler { return rt.profiler }
 
 // Clock exposes the runtime clock.
 func (rt *Runtime) Clock() clock.Clock { return rt.clk }

@@ -1,16 +1,22 @@
 // Package metrics provides the lightweight instrumentation primitives used
 // throughout the AODB runtime and the benchmark harness: atomic counters,
-// gauges, and log-bucketed latency histograms with percentile estimation.
+// gauges, HDR-style log-linear latency histograms with mergeable
+// snapshots, and a space-saving top-K heavy-hitter sketch.
 //
-// The histogram design follows HdrHistogram's idea of logarithmic buckets
-// with linear sub-buckets, giving a bounded relative error (~3% with 32
-// sub-buckets) over a huge dynamic range while staying allocation-free on
-// the record path. That matters here because the paper's evaluation
-// (Figures 8 and 9) reports 50th..99.9th percentile latencies, and the
-// recorder sits on the critical path of every benchmark request.
+// The histogram design follows HdrHistogram's log-linear layout:
+// logarithmic buckets with linear sub-buckets, giving a bounded relative
+// error (MaxRelativeError, ~1.6% with 64 sub-buckets) over a huge dynamic
+// range while staying allocation-free on the record path. That matters
+// here because the paper's evaluation (Figures 8 and 9) reports
+// 50th..99.9th percentile latencies, and the recorder sits on the
+// critical path of every benchmark request. Snapshots serialize to a
+// sparse JSON form and merge losslessly, so a cluster aggregator can
+// combine per-silo histograms and report cluster-wide percentiles with
+// the same error bound.
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/bits"
@@ -55,13 +61,24 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
 const (
-	subBucketBits  = 5 // 32 linear sub-buckets per power of two
+	subBucketBits  = 6 // 64 linear sub-buckets per power of two
 	subBucketCount = 1 << subBucketBits
 	// maxExponent bounds recordable values at 2^41 ns ≈ 36 minutes, far
 	// beyond any latency this repository measures.
 	maxExponent = 41
 	bucketCount = (maxExponent - subBucketBits + 1) * subBucketCount
 )
+
+// MaxRelativeError is the worst-case relative quantization error of a
+// histogram value: each power-of-two range is split into subBucketCount
+// linear sub-buckets, so a recorded value is off from its bucket's
+// representative by at most one sub-bucket width.
+const MaxRelativeError = 1.0 / subBucketCount
+
+// histogramLayout names the bucket layout a serialized snapshot was
+// produced under, so merging processes can refuse mismatched layouts
+// instead of silently mis-binning counts.
+const histogramLayout = "log-linear/6/41"
 
 // Histogram is a concurrent log-bucketed histogram of int64 values
 // (conventionally nanoseconds). The zero value is ready to use.
@@ -122,10 +139,15 @@ func bucketUpper(i int) int64 {
 }
 
 // Record adds a value to the histogram.
+//
+// Ordering matters for snapshot consistency: the bucket, sum, min, and
+// max updates all happen before the count increment. sync/atomic ops are
+// sequentially consistent, so a snapshot that reads count first observes
+// at least that many records' buckets and a valid min/max — Percentile
+// can never walk off the end of a torn snapshot or report an unset min.
 func (h *Histogram) Record(v int64) {
 	h.init()
 	h.buckets[bucketIndex(v)].Add(1)
-	h.count.Add(1)
 	h.sum.Add(v)
 	for {
 		cur := h.min.Load()
@@ -139,6 +161,7 @@ func (h *Histogram) Record(v int64) {
 			break
 		}
 	}
+	h.count.Add(1)
 }
 
 // RecordDuration adds a duration in nanoseconds.
@@ -156,11 +179,16 @@ type Snapshot struct {
 	counts []int64 // per-bucket counts, index-aligned with bucketUpper
 }
 
-// Snapshot returns a consistent-enough copy for percentile queries.
+// Snapshot returns a self-consistent copy for percentile queries.
 // Concurrent recording during snapshotting may skew counts by the handful
-// of in-flight records, which is acceptable for benchmark reporting.
+// of in-flight records, which is acceptable for benchmark reporting, but
+// the invariants always hold: Count <= sum of bucket counts, and
+// Min <= Max whenever Count > 0.
 func (h *Histogram) Snapshot() Snapshot {
 	h.init()
+	// Count is read before the buckets: Record publishes the bucket before
+	// the count, so every counted record's bucket is visible below and
+	// Percentile's cumulative walk always reaches its rank.
 	s := Snapshot{
 		Count:  h.count.Load(),
 		Sum:    h.sum.Load(),
@@ -175,7 +203,40 @@ func (h *Histogram) Snapshot() Snapshot {
 	for i := range h.buckets {
 		s.counts[i] = h.buckets[i].Load()
 	}
+	s.clampBounds()
 	return s
+}
+
+// clampBounds repairs min/max against the bucket contents so a torn read
+// (or a deserialized snapshot from an older process) can never yield a
+// min above max or percentiles outside the recorded range.
+func (s *Snapshot) clampBounds() {
+	if s.Count == 0 {
+		return
+	}
+	if s.Min > s.Max {
+		// Derive bounds from the occupied buckets instead.
+		s.Min, s.Max = 0, 0
+		first := true
+		for i, c := range s.counts {
+			if c == 0 {
+				continue
+			}
+			if first {
+				s.Min = bucketLower(i)
+				first = false
+			}
+			s.Max = bucketUpper(i)
+		}
+	}
+}
+
+// bucketLower returns the inclusive lower bound of bucket i.
+func bucketLower(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	return bucketUpper(i-1) + 1
 }
 
 // Percentile returns the value at quantile p in [0,100]. Results carry the
@@ -236,6 +297,87 @@ func (s Snapshot) String() string {
 	}
 	fmt.Fprintf(&b, " max=%s", time.Duration(s.Max))
 	return b.String()
+}
+
+// Merge returns the combination of two snapshots, as if every value
+// recorded into either histogram had been recorded into one. Because the
+// bucket layout is identical, merged percentiles carry the same
+// MaxRelativeError bound as single-histogram percentiles.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	if o.Count == 0 && o.counts == nil {
+		return s
+	}
+	if s.Count == 0 && s.counts == nil {
+		return o
+	}
+	out := Snapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		counts: make([]int64, bucketCount),
+	}
+	copy(out.counts, s.counts)
+	for i, c := range o.counts {
+		out.counts[i] += c
+	}
+	switch {
+	case s.Count == 0:
+		out.Min, out.Max = o.Min, o.Max
+	case o.Count == 0:
+		out.Min, out.Max = s.Min, s.Max
+	default:
+		out.Min, out.Max = s.Min, s.Max
+		if o.Min < out.Min {
+			out.Min = o.Min
+		}
+		if o.Max > out.Max {
+			out.Max = o.Max
+		}
+	}
+	return out
+}
+
+// snapshotJSON is the sparse wire form of a Snapshot: only occupied
+// buckets travel, as [index, count] pairs, tagged with the bucket layout
+// so a receiver never mis-bins counts from an incompatible build.
+type snapshotJSON struct {
+	Layout  string     `json:"layout"`
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON encodes the snapshot in sparse form.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	j := snapshotJSON{Layout: histogramLayout, Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max}
+	for i, c := range s.counts {
+		if c != 0 {
+			j.Buckets = append(j.Buckets, [2]int64{int64(i), c})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a sparse snapshot, rejecting layouts other than
+// this build's.
+func (s *Snapshot) UnmarshalJSON(data []byte) error {
+	var j snapshotJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	if j.Layout != histogramLayout {
+		return fmt.Errorf("metrics: histogram layout %q incompatible with %q", j.Layout, histogramLayout)
+	}
+	*s = Snapshot{Count: j.Count, Sum: j.Sum, Min: j.Min, Max: j.Max, counts: make([]int64, bucketCount)}
+	for _, b := range j.Buckets {
+		if b[0] < 0 || b[0] >= bucketCount {
+			return fmt.Errorf("metrics: bucket index %d out of range", b[0])
+		}
+		s.counts[b[0]] = b[1]
+	}
+	s.clampBounds()
+	return nil
 }
 
 // Registry is a named collection of metrics, used by silos and benchmarks

@@ -1,0 +1,482 @@
+// Package obs is the cluster-wide observability aggregator: it scrapes
+// every silo's /obs introspection endpoint (or reads in-process sources
+// directly), merges the HDR histogram snapshots losslessly and the
+// heavy-hitter sketches with bounded error, keeps a bounded ring of
+// recent per-metric history, and re-exports the merged view as JSON
+// (/cluster, /cluster/history) and Prometheus text (/cluster/prom).
+//
+// The aggregator never hangs on a down or slow silo: every scrape runs
+// under its own timeout, failures surface as a per-silo status with the
+// last good snapshot marked stale, and the merged view is always the
+// freshest partial truth available.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aodb/internal/metrics"
+	"aodb/internal/telemetry"
+)
+
+// Target names one silo's scrape endpoint. URL is the introspection base
+// (e.g. "http://10.0.0.1:9180"); the aggregator appends /obs.
+type Target struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// Source is an in-process snapshot provider, used when the aggregator
+// runs inside a silo process (telemetry.Introspection.Obs fits).
+type Source func() telemetry.ObsSnapshot
+
+// Config tunes an Aggregator. The zero value is usable for in-process
+// sources; add Targets for remote silos.
+type Config struct {
+	// Targets are the remote silos to scrape.
+	Targets []Target
+	// Interval is the Run poll period (default 2s).
+	Interval time.Duration
+	// Timeout bounds each individual scrape (default 2s) so one slow or
+	// dead silo can never stall the poll round.
+	Timeout time.Duration
+	// HistoryLen is how many poll rounds of per-metric history to retain
+	// (default 120 — four minutes at the default interval).
+	HistoryLen int
+	// TopK is the size of the merged hot-actor list (default 32).
+	TopK int
+	// StaleAfter marks a silo's last-known snapshot stale once it is this
+	// old (default 3 poll intervals).
+	StaleAfter time.Duration
+	// Client overrides the scrape HTTP client (tests; default 2s-timeout
+	// client).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 120
+	}
+	if c.TopK <= 0 {
+		c.TopK = 32
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 3 * c.Interval
+	}
+	return c
+}
+
+// SiloView is one silo's contribution to a cluster snapshot: its scrape
+// status plus the snapshot that was merged (the last good one when the
+// silo is currently unreachable).
+type SiloView struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"`
+	// Ok reports whether the most recent scrape succeeded.
+	Ok bool `json:"ok"`
+	// Stale marks a silo whose data is from an earlier round because the
+	// latest scrape failed; AgeSeconds says how old.
+	Stale      bool    `json:"stale,omitempty"`
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+	Error      string  `json:"error,omitempty"`
+
+	Snapshot *telemetry.ObsSnapshot `json:"snapshot,omitempty"`
+}
+
+// ClusterSnapshot is the merged cluster-wide view.
+type ClusterSnapshot struct {
+	Now time.Time `json:"now"`
+	// Partial is set when at least one silo's data is stale or missing.
+	Partial bool       `json:"partial,omitempty"`
+	Silos   []SiloView `json:"silos"`
+
+	// Counters and Gauges sum across silos; Hists merge losslessly
+	// (identical log-linear layout on every silo).
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Gauges   map[string]int64            `json:"gauges,omitempty"`
+	Hists    map[string]metrics.Snapshot `json:"histograms,omitempty"`
+
+	// HotActors is the cluster-wide merged top-K heavy-hitter list.
+	HotActors []metrics.TopKEntry `json:"hot_actors,omitempty"`
+	// Kinds sums per-kind turn/CPU accounting and maxes the high-water
+	// marks across silos.
+	Kinds []telemetry.KindProfile `json:"kind_profiles,omitempty"`
+	// KindStats sums the tracer's always-on per-kind turn stats.
+	KindStats []telemetry.KindStats `json:"kind_stats,omitempty"`
+
+	ProfTurns    int64 `json:"prof_turns,omitempty"`
+	ProfCPUNanos int64 `json:"prof_cpu_nanos,omitempty"`
+}
+
+// Sample is one history-ring entry: the merged percentiles of every
+// histogram plus the cluster turn total at one poll instant.
+type Sample struct {
+	Time time.Time `json:"time"`
+	// Quantiles maps histogram name -> [p50, p99, p99.9].
+	Quantiles map[string][3]int64 `json:"quantiles,omitempty"`
+	Turns     int64               `json:"turns"`
+	CPUNanos  int64               `json:"cpu_nanos"`
+}
+
+// siloState is the aggregator's memory of one silo between rounds.
+type siloState struct {
+	target Target
+	source Source // non-nil for in-process silos
+	last   *telemetry.ObsSnapshot
+	lastAt time.Time
+	err    string
+}
+
+// Aggregator merges per-silo observability snapshots into a cluster view.
+type Aggregator struct {
+	cfg    Config
+	client *http.Client
+
+	mu      sync.Mutex
+	silos   []*siloState
+	latest  ClusterSnapshot
+	history []Sample // ring, oldest first once full
+	polled  bool
+}
+
+// New creates an aggregator over cfg.Targets.
+func New(cfg Config) *Aggregator {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	a := &Aggregator{cfg: cfg, client: client}
+	for _, t := range cfg.Targets {
+		a.silos = append(a.silos, &siloState{target: t})
+	}
+	return a
+}
+
+// AddLocal registers an in-process snapshot source (no HTTP hop), used by
+// a silo process that aggregates itself alongside remote peers.
+func (a *Aggregator) AddLocal(name string, src Source) {
+	a.mu.Lock()
+	a.silos = append(a.silos, &siloState{target: Target{Name: name}, source: src})
+	a.mu.Unlock()
+}
+
+// PollOnce scrapes every silo concurrently (each under its own timeout),
+// merges what answered, and returns the resulting cluster snapshot. A
+// down or slow silo contributes its last good snapshot, marked stale; a
+// silo that has never answered contributes only an error entry. PollOnce
+// never blocks longer than the scrape timeout.
+func (a *Aggregator) PollOnce(ctx context.Context) ClusterSnapshot {
+	a.mu.Lock()
+	silos := append([]*siloState(nil), a.silos...)
+	a.mu.Unlock()
+
+	type result struct {
+		snap *telemetry.ObsSnapshot
+		err  error
+	}
+	results := make([]result, len(silos))
+	var wg sync.WaitGroup
+	for i, s := range silos {
+		wg.Add(1)
+		go func(i int, s *siloState) {
+			defer wg.Done()
+			snap, err := a.scrape(ctx, s)
+			results[i] = result{snap, err}
+		}(i, s)
+	}
+	wg.Wait()
+
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, s := range silos {
+		if results[i].err == nil && results[i].snap != nil {
+			s.last = results[i].snap
+			s.lastAt = now
+			s.err = ""
+		} else if results[i].err != nil {
+			s.err = results[i].err.Error()
+		}
+	}
+	snap := a.mergeLocked(now)
+	a.latest = snap
+	a.appendHistoryLocked(snap)
+	a.polled = true
+	return snap
+}
+
+func (a *Aggregator) scrape(ctx context.Context, s *siloState) (*telemetry.ObsSnapshot, error) {
+	if s.source != nil {
+		snap := s.source()
+		if snap.Silo == "" {
+			snap.Silo = s.target.Name
+		}
+		return &snap, nil
+	}
+	cctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+	url := strings.TrimSuffix(s.target.URL, "/") + "/obs"
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s returned %s", url, resp.Status)
+	}
+	var snap telemetry.ObsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("obs: decoding %s: %w", url, err)
+	}
+	if snap.Silo == "" {
+		snap.Silo = s.target.Name
+	}
+	return &snap, nil
+}
+
+// mergeLocked folds every silo's freshest snapshot into one cluster view.
+func (a *Aggregator) mergeLocked(now time.Time) ClusterSnapshot {
+	out := ClusterSnapshot{
+		Now:      now,
+		Counters: map[string]int64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]metrics.Snapshot{},
+	}
+	kinds := map[string]*telemetry.KindProfile{}
+	kstats := map[string]*telemetry.KindStats{}
+	var hotLists [][]metrics.TopKEntry
+	for _, s := range a.silos {
+		view := SiloView{Name: s.target.Name, URL: s.target.URL, Ok: s.err == "", Error: s.err}
+		if s.last == nil {
+			view.Ok = false
+			out.Partial = true
+			out.Silos = append(out.Silos, view)
+			continue
+		}
+		age := now.Sub(s.lastAt)
+		view.AgeSeconds = age.Seconds()
+		if s.err != "" || age > a.cfg.StaleAfter {
+			view.Ok = false
+			view.Stale = true
+			out.Partial = true
+		}
+		view.Snapshot = s.last
+		out.Silos = append(out.Silos, view)
+
+		for k, v := range s.last.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.last.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.last.Hists {
+			out.Hists[k] = out.Hists[k].Merge(h)
+		}
+		hotLists = append(hotLists, s.last.HotActors)
+		for _, kp := range s.last.Kinds {
+			m, ok := kinds[kp.Kind]
+			if !ok {
+				cp := kp
+				kinds[kp.Kind] = &cp
+				continue
+			}
+			m.Turns += kp.Turns
+			m.CPUNanos += kp.CPUNanos
+			if kp.MailboxHWM > m.MailboxHWM {
+				m.MailboxHWM = kp.MailboxHWM
+			}
+			if kp.MaxStateBytes > m.MaxStateBytes {
+				m.MaxStateBytes = kp.MaxStateBytes
+			}
+		}
+		for _, ks := range s.last.KindStats {
+			m, ok := kstats[ks.Kind]
+			if !ok {
+				cp := ks
+				kstats[ks.Kind] = &cp
+				continue
+			}
+			m.Turns += ks.Turns
+			m.SlowTurns += ks.SlowTurns
+			m.TurnNanos += ks.TurnNanos
+		}
+		out.ProfTurns += s.last.ProfTurns
+		out.ProfCPUNanos += s.last.ProfCPUNanos
+	}
+	out.HotActors = metrics.MergeTopK(a.cfg.TopK, hotLists...)
+	for _, kp := range kinds {
+		out.Kinds = append(out.Kinds, *kp)
+	}
+	sort.Slice(out.Kinds, func(i, j int) bool { return out.Kinds[i].Kind < out.Kinds[j].Kind })
+	for _, ks := range kstats {
+		out.KindStats = append(out.KindStats, *ks)
+	}
+	sort.Slice(out.KindStats, func(i, j int) bool { return out.KindStats[i].Kind < out.KindStats[j].Kind })
+	return out
+}
+
+func (a *Aggregator) appendHistoryLocked(snap ClusterSnapshot) {
+	s := Sample{Time: snap.Now, Turns: snap.ProfTurns, CPUNanos: snap.ProfCPUNanos}
+	if len(snap.Hists) > 0 {
+		s.Quantiles = make(map[string][3]int64, len(snap.Hists))
+		for name, h := range snap.Hists {
+			s.Quantiles[name] = [3]int64{h.Percentile(50), h.Percentile(99), h.Percentile(99.9)}
+		}
+	}
+	a.history = append(a.history, s)
+	if over := len(a.history) - a.cfg.HistoryLen; over > 0 {
+		a.history = a.history[over:]
+	}
+}
+
+// Latest returns the most recent merged snapshot without scraping.
+func (a *Aggregator) Latest() (ClusterSnapshot, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.latest, a.polled
+}
+
+// History returns the retained poll-round samples, oldest first.
+func (a *Aggregator) History() []Sample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Sample(nil), a.history...)
+}
+
+// Run polls on the configured interval until ctx is cancelled. The first
+// poll happens immediately so /cluster is live as soon as Run starts.
+func (a *Aggregator) Run(ctx context.Context) {
+	a.PollOnce(ctx)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			a.PollOnce(ctx)
+		}
+	}
+}
+
+// Handler serves the merged cluster view:
+//
+//	/cluster          merged snapshot as JSON (scrapes on demand if Run
+//	                  is not polling yet)
+//	/cluster/history  the per-metric history ring as JSON
+//	/cluster/prom     the merged view in Prometheus text format
+func (a *Aggregator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	a.Register(mux)
+	return mux
+}
+
+// Register mounts the /cluster routes on an existing mux, letting a silo
+// process serve the aggregated view from its own introspection endpoint.
+func (a *Aggregator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster", a.serveCluster)
+	mux.HandleFunc("/cluster/history", a.serveHistory)
+	mux.HandleFunc("/cluster/prom", a.serveProm)
+}
+
+func (a *Aggregator) serveCluster(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.Latest()
+	if !ok || r.URL.Query().Get("refresh") != "" {
+		snap = a.PollOnce(r.Context())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
+}
+
+func (a *Aggregator) serveHistory(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(a.History())
+}
+
+func (a *Aggregator) serveProm(w http.ResponseWriter, r *http.Request) {
+	snap, ok := a.Latest()
+	if !ok {
+		snap = a.PollOnce(r.Context())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	up := 0
+	for _, s := range snap.Silos {
+		state := 0
+		if s.Ok {
+			state = 1
+			up++
+		}
+		fmt.Fprintf(&b, "aodb_cluster_silo_up{silo=%q} %d\n", s.Name, state)
+	}
+	fmt.Fprintf(&b, "aodb_cluster_silos %d\naodb_cluster_silos_up %d\n", len(snap.Silos), up)
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(&b, "aodb_cluster_%s %d\n", promName(name), snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(&b, "aodb_cluster_%s %d\n", promName(name), snap.Gauges[name])
+	}
+	for _, name := range sortedKeys(snap.Hists) {
+		h := snap.Hists[name]
+		n := "aodb_cluster_" + promName(name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", n)
+		for _, q := range []float64{50, 90, 99, 99.9} {
+			fmt.Fprintf(&b, "%s{quantile=\"%g\"} %d\n", n, q/100, h.Percentile(q))
+		}
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", n, h.Sum, n, h.Count)
+	}
+	for _, e := range snap.HotActors {
+		fmt.Fprintf(&b, "aodb_cluster_hot_actor_cpu_nanos{actor=%q,silo=%q} %d\n", e.Key, e.Label, e.Count)
+		fmt.Fprintf(&b, "aodb_cluster_hot_actor_turns{actor=%q,silo=%q} %d\n", e.Key, e.Label, e.Turns)
+	}
+	for _, kp := range snap.Kinds {
+		fmt.Fprintf(&b, "aodb_cluster_kind_cpu_nanos{kind=%q} %d\n", kp.Kind, kp.CPUNanos)
+		fmt.Fprintf(&b, "aodb_cluster_kind_turns{kind=%q} %d\n", kp.Kind, kp.Turns)
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aodb/internal/metrics"
+	"aodb/internal/telemetry"
+)
+
+// buildSilo fabricates one silo's introspection state: a registry with a
+// shared-name latency histogram, a profiler with silo-local hot actors.
+func buildSilo(name string, latencies []time.Duration, hot map[string]time.Duration) *telemetry.Introspection {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("shm.call_latency")
+	for _, d := range latencies {
+		h.Record(int64(d))
+	}
+	reg.Counter("core.turns").Add(int64(len(latencies)))
+	prof := telemetry.NewProfiler(telemetry.ProfilerConfig{K: 16})
+	for actor, cpu := range hot {
+		prof.ObserveTurn(actor, "Sensor", name, cpu, 1)
+	}
+	return &telemetry.Introspection{Registry: reg, Profiler: prof, Name: name}
+}
+
+// TestAggregatorMergesSilos is the acceptance-criteria check at unit
+// scale: three real HTTP introspection endpoints, a merged /cluster view
+// whose histogram percentiles equal the union of the per-silo streams
+// (HDR merge is lossless) and whose top-K list matches per-silo ground
+// truth.
+func TestAggregatorMergesSilos(t *testing.T) {
+	perSilo := [][]time.Duration{
+		{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+		{10 * time.Millisecond, 20 * time.Millisecond},
+		{100 * time.Millisecond},
+	}
+	hot := []map[string]time.Duration{
+		{"Sensor/a": 50 * time.Millisecond, "Sensor/b": 10 * time.Millisecond},
+		{"Sensor/c": 80 * time.Millisecond},
+		{"Sensor/d": 5 * time.Millisecond},
+	}
+	var targets []Target
+	union := metrics.NewRegistry().Histogram("union")
+	for i := range perSilo {
+		in := buildSilo(fmt.Sprintf("silo-%d", i+1), perSilo[i], hot[i])
+		srv := httptest.NewServer(in.Handler())
+		defer srv.Close()
+		targets = append(targets, Target{Name: fmt.Sprintf("silo-%d", i+1), URL: srv.URL})
+		for _, d := range perSilo[i] {
+			union.Record(int64(d))
+		}
+	}
+	agg := New(Config{Targets: targets, TopK: 10})
+	snap := agg.PollOnce(context.Background())
+
+	if snap.Partial {
+		t.Fatalf("snapshot marked partial with all silos up: %+v", snap.Silos)
+	}
+	if len(snap.Silos) != 3 {
+		t.Fatalf("silos = %d, want 3", len(snap.Silos))
+	}
+	merged, ok := snap.Hists["shm.call_latency"]
+	if !ok {
+		t.Fatalf("merged histogram missing: %v", snap.Hists)
+	}
+	want := union.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", merged.Count, merged.Sum, want.Count, want.Sum)
+	}
+	for _, q := range []float64{50, 99, 99.9} {
+		if got, exp := merged.Percentile(q), want.Percentile(q); got != exp {
+			t.Fatalf("p%g = %d, want %d (union ground truth)", q, got, exp)
+		}
+	}
+	if snap.Counters["core.turns"] != 6 {
+		t.Fatalf("summed counter = %d, want 6", snap.Counters["core.turns"])
+	}
+	// Top-K ground truth: actors are silo-local, so the merged ranking is
+	// the concatenation sorted by CPU.
+	if len(snap.HotActors) != 4 {
+		t.Fatalf("hot actors = %+v, want 4", snap.HotActors)
+	}
+	if snap.HotActors[0].Key != "Sensor/c" || snap.HotActors[1].Key != "Sensor/a" {
+		t.Fatalf("merged ranking wrong: %+v", snap.HotActors)
+	}
+	if snap.HotActors[0].Label != "silo-2" {
+		t.Fatalf("hot actor label = %q, want silo-2", snap.HotActors[0].Label)
+	}
+	// Kind profiles sum across silos.
+	if len(snap.Kinds) != 1 || snap.Kinds[0].Turns != 4 {
+		t.Fatalf("kind profiles = %+v", snap.Kinds)
+	}
+}
+
+// TestAggregatorSiloDownIsPartialNotHung: a dead target must not stall
+// the round; the snapshot comes back partial with the dead silo marked.
+func TestAggregatorSiloDownIsPartialNotHung(t *testing.T) {
+	in := buildSilo("silo-1", []time.Duration{time.Millisecond}, nil)
+	srv := httptest.NewServer(in.Handler())
+	defer srv.Close()
+	agg := New(Config{
+		Targets: []Target{
+			{Name: "silo-1", URL: srv.URL},
+			{Name: "silo-dead", URL: "http://127.0.0.1:1"}, // connection refused
+		},
+		Timeout: 500 * time.Millisecond,
+	})
+	start := time.Now()
+	snap := agg.PollOnce(context.Background())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("PollOnce took %v with a dead silo", elapsed)
+	}
+	if !snap.Partial {
+		t.Fatal("snapshot not marked partial with a dead silo")
+	}
+	var live, dead *SiloView
+	for i := range snap.Silos {
+		switch snap.Silos[i].Name {
+		case "silo-1":
+			live = &snap.Silos[i]
+		case "silo-dead":
+			dead = &snap.Silos[i]
+		}
+	}
+	if live == nil || !live.Ok {
+		t.Fatalf("live silo not ok: %+v", snap.Silos)
+	}
+	if dead == nil || dead.Ok || dead.Error == "" {
+		t.Fatalf("dead silo not marked: %+v", dead)
+	}
+	// The live silo's data still merged.
+	if snap.Hists["shm.call_latency"].Count != 1 {
+		t.Fatalf("live silo data missing from partial merge: %+v", snap.Hists)
+	}
+}
+
+// TestAggregatorSlowSiloGoesStale: a silo that answers once and then
+// hangs keeps contributing its last good snapshot, marked stale.
+func TestAggregatorSlowSiloGoesStale(t *testing.T) {
+	in := buildSilo("silo-1", []time.Duration{time.Millisecond}, nil)
+	healthy := in.Handler()
+	hang := make(chan struct{})
+	defer close(hang)
+	mode := make(chan bool, 1) // true = hang
+	hanging := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case hanging = <-mode:
+		default:
+		}
+		if hanging {
+			select {
+			case <-hang:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		healthy.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	agg := New(Config{
+		Targets:    []Target{{Name: "silo-1", URL: srv.URL}},
+		Timeout:    300 * time.Millisecond,
+		StaleAfter: time.Nanosecond, // any re-merged old data counts as stale
+	})
+	first := agg.PollOnce(context.Background())
+	if first.Partial || first.Hists["shm.call_latency"].Count != 1 {
+		t.Fatalf("healthy first poll wrong: %+v", first)
+	}
+
+	mode <- true // silo now hangs
+	start := time.Now()
+	second := agg.PollOnce(context.Background())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("PollOnce took %v with a hanging silo", elapsed)
+	}
+	if !second.Partial {
+		t.Fatal("snapshot not partial with a hanging silo")
+	}
+	sv := second.Silos[0]
+	if sv.Ok || !sv.Stale || sv.Error == "" {
+		t.Fatalf("hanging silo view = %+v, want stale with error", sv)
+	}
+	// Last good data still present.
+	if second.Hists["shm.call_latency"].Count != 1 {
+		t.Fatalf("stale data dropped: %+v", second.Hists)
+	}
+}
+
+func TestAggregatorHistoryRing(t *testing.T) {
+	in := buildSilo("silo-1", []time.Duration{time.Millisecond}, nil)
+	agg := New(Config{HistoryLen: 3})
+	agg.AddLocal("silo-1", in.Obs)
+	for i := 0; i < 5; i++ {
+		agg.PollOnce(context.Background())
+	}
+	hist := agg.History()
+	if len(hist) != 3 {
+		t.Fatalf("history len = %d, want 3 (bounded ring)", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Time.Before(hist[i-1].Time) {
+			t.Fatal("history out of order")
+		}
+	}
+	q, ok := hist[2].Quantiles["shm.call_latency"]
+	if !ok || q[0] <= 0 {
+		t.Fatalf("history sample quantiles missing: %+v", hist[2])
+	}
+}
+
+// TestClusterEndpoint drives the HTTP surface end to end: local source in,
+// JSON out, including on-demand polling when Run is not active.
+func TestClusterEndpoint(t *testing.T) {
+	in := buildSilo("silo-1", []time.Duration{time.Millisecond, 2 * time.Millisecond},
+		map[string]time.Duration{"Sensor/x": time.Millisecond})
+	agg := New(Config{})
+	agg.AddLocal("silo-1", in.Obs)
+	srv := httptest.NewServer(agg.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap ClusterSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Silos) != 1 || !snap.Silos[0].Ok {
+		t.Fatalf("cluster silos = %+v", snap.Silos)
+	}
+	if snap.Hists["shm.call_latency"].Count != 2 {
+		t.Fatalf("cluster hist = %+v", snap.Hists)
+	}
+	if len(snap.HotActors) != 1 || snap.HotActors[0].Key != "Sensor/x" {
+		t.Fatalf("cluster hot actors = %+v", snap.HotActors)
+	}
+
+	promResp, err := http.Get(srv.URL + "/cluster/prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promResp.Body.Close()
+	var buf [1 << 16]byte
+	n, _ := promResp.Body.Read(buf[:])
+	body := string(buf[:n])
+	for _, want := range []string{"aodb_cluster_silos_up 1", "aodb_cluster_shm_call_latency", "aodb_cluster_hot_actor_cpu_nanos"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, body)
+		}
+	}
+}

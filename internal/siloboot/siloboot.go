@@ -1,0 +1,172 @@
+// Package siloboot is the shared bring-up path for SHM cluster processes
+// (shmserver silos and the shmload client). Both need the same stack —
+// a TCP transport with static peers, consistent-hash placement keyed on
+// the actor-id prefix, a static cluster view, optional tracing and
+// hot-spot profiling, one metrics registry spanning runtime and wire
+// path — and keeping that wiring in one place means a flag added here
+// (or a default changed) behaves identically in every process.
+package siloboot
+
+import (
+	"strings"
+	"time"
+
+	"aodb/internal/cluster"
+	"aodb/internal/core"
+	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
+	"aodb/internal/placement"
+	"aodb/internal/telemetry"
+	"aodb/internal/transport"
+)
+
+// Options configures one cluster process.
+type Options struct {
+	// Name is this process's transport name; Listen its TCP bind address.
+	Name   string
+	Listen string
+	// Silos is the comma-separated list of ALL silo names, identical on
+	// every node so consistent-hash placement agrees cluster-wide.
+	Silos string
+	// Peers holds comma-separated name=addr pairs for the other processes.
+	Peers string
+	// TCP tunes the wire path (stripes, batching, dispatch pool).
+	TCP transport.TCPOptions
+	// Breaker wraps the transport in per-peer circuit breakers (servers
+	// want this; a short-lived load client typically does not).
+	Breaker bool
+
+	// Store, when non-nil, enables actor-state persistence.
+	Store *kvstore.Store
+
+	// Trace enables distributed tracing: sample every TraceSample-th
+	// request (minimum 1), flag turns slower than SlowTurn, keep
+	// TraceCapacity spans (0 = telemetry default).
+	Trace         bool
+	TraceSample   int
+	SlowTurn      time.Duration
+	TraceCapacity int
+
+	// Profile enables the per-actor hot-spot profiler with a ProfileK-slot
+	// heavy-hitter sketch (0 = default 64).
+	Profile  bool
+	ProfileK int
+
+	// Metrics overrides the registry (nil allocates one shared by the
+	// runtime and the transport).
+	Metrics *metrics.Registry
+}
+
+// Node is a started cluster process: the runtime plus the pieces the
+// command-level code still needs (shutdown, peers, introspection).
+type Node struct {
+	Name     string
+	Registry *metrics.Registry
+	TCP      *transport.TCP
+	Breaker  *transport.Breaker // nil unless Options.Breaker
+	Tracer   *telemetry.Tracer  // nil unless Options.Trace
+	Profiler *telemetry.ActorProfiler
+	Runtime  *core.Runtime
+}
+
+// Start builds the transport, placement, and runtime. The caller still
+// registers kinds (shm.NewPlatform) and, for silos, adds itself with
+// AddSilo — a load client deliberately never does, so no actor places
+// onto it.
+func Start(opts Options) (*Node, error) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	topts := opts.TCP
+	if topts.Metrics == nil {
+		topts.Metrics = reg
+	}
+	tcp, err := transport.NewTCPWithOptions(opts.Name, opts.Listen, topts)
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range SplitPairs(opts.Peers) {
+		tcp.SetPeer(pair[0], pair[1])
+	}
+	var tr transport.Transport = tcp
+	var breaker *transport.Breaker
+	if opts.Breaker {
+		breaker = transport.NewBreaker(tcp, transport.BreakerOptions{})
+		tr = breaker
+	}
+
+	var tracer *telemetry.Tracer
+	if opts.Trace {
+		sample := opts.TraceSample
+		if sample < 1 {
+			sample = 1
+		}
+		tracer = telemetry.New(telemetry.Config{
+			SampleEvery: uint64(sample),
+			SlowTurn:    opts.SlowTurn,
+			Capacity:    opts.TraceCapacity,
+		})
+	}
+	var profiler *telemetry.ActorProfiler
+	if opts.Profile {
+		profiler = telemetry.NewProfiler(telemetry.ProfilerConfig{K: opts.ProfileK})
+	}
+
+	hash := placement.NewConsistentHash()
+	hash.PrefixSep = '@'
+	rt, err := core.New(core.Config{
+		Transport: tr,
+		Placement: hash,
+		Store:     opts.Store,
+		View:      cluster.NewStaticView(strings.Split(opts.Silos, ",")...),
+		Tracer:    tracer,
+		Profiler:  profiler,
+		Metrics:   reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		Name:     opts.Name,
+		Registry: reg,
+		TCP:      tcp,
+		Breaker:  breaker,
+		Tracer:   tracer,
+		Profiler: profiler,
+		Runtime:  rt,
+	}, nil
+}
+
+// Introspection assembles the node's observability endpoint, wiring in
+// whichever sources the node has. pprof opts into /debug/pprof/.
+func (n *Node) Introspection(pprof bool) *telemetry.Introspection {
+	in := &telemetry.Introspection{
+		Registry: n.Registry,
+		Tracer:   n.Tracer,
+		Runtime:  n.Runtime,
+		Profiler: n.Profiler,
+		Name:     n.Name,
+		Pprof:    pprof,
+	}
+	if n.Breaker != nil {
+		in.Breakers = n.Breaker.States
+	}
+	return in
+}
+
+// SplitPairs parses "name=addr,name=addr" peer lists, skipping empty and
+// malformed segments.
+func SplitPairs(s string) [][2]string {
+	var out [][2]string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			out = append(out, [2]string{name, addr})
+		}
+	}
+	return out
+}

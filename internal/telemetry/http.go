@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,18 +53,36 @@ type RuntimeSource interface {
 // Introspection serves the runtime-observability HTTP surface:
 //
 //	/metrics  Prometheus text format: registry counters/gauges/histogram
-//	          quantiles, per-kind turn stats, silo gauges, breaker states
+//	          quantiles, per-kind turn stats, silo gauges, breaker states,
+//	          hot-actor attribution
 //	/trace    recent sampled spans as JSON (?limit=N, ?slow=1)
 //	/actors   the activation catalog snapshot as JSON
+//	/obs      the full mergeable observability snapshot as JSON — sparse
+//	          histogram buckets, heavy-hitter sketch entries, per-kind
+//	          profiles — the scrape surface the cluster aggregator merges
+//	/debug/pprof/...  net/http/pprof, only when Pprof is set
 //
 // Every field is optional; nil sources simply do not contribute.
 type Introspection struct {
 	Registry *metrics.Registry
 	Tracer   *Tracer
 	Runtime  RuntimeSource
+	// Profiler contributes per-actor hot-spot accounting to /obs and
+	// /metrics.
+	Profiler *ActorProfiler
 	// Breakers supplies circuit-breaker states (transport.Breaker.States
 	// fits; a func field keeps telemetry free of a transport dependency).
 	Breakers func() []BreakerState
+	// Name tags /obs snapshots with the process's silo name so aggregated
+	// views can attribute them.
+	Name string
+	// Pprof mounts net/http/pprof under /debug/pprof/ for on-demand CPU
+	// and heap profiling of an individual silo. Off by default: profiling
+	// endpoints on a production port are an operator opt-in.
+	Pprof bool
+	// Extra, when set, registers additional routes on the introspection
+	// mux (the in-process cluster aggregator mounts /cluster here).
+	Extra func(mux *http.ServeMux)
 }
 
 // Handler returns the introspection mux.
@@ -72,7 +91,75 @@ func (in *Introspection) Handler() http.Handler {
 	mux.HandleFunc("/metrics", in.serveMetrics)
 	mux.HandleFunc("/trace", in.serveTrace)
 	mux.HandleFunc("/actors", in.serveActors)
+	mux.HandleFunc("/obs", in.serveObs)
+	if in.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if in.Extra != nil {
+		in.Extra(mux)
+	}
 	return mux
+}
+
+// ObsSnapshot is the mergeable wire form of one process's observability
+// state, served at /obs and consumed by the cluster aggregator. Histogram
+// snapshots serialize sparsely and merge losslessly; hot actors are
+// space-saving sketch entries that merge with bounded error.
+type ObsSnapshot struct {
+	Silo  string    `json:"silo,omitempty"`
+	Now   time.Time `json:"now"`
+	Pprof bool      `json:"pprof,omitempty"`
+
+	Runtime  *RuntimeSnapshot            `json:"runtime,omitempty"`
+	Counters map[string]int64            `json:"counters,omitempty"`
+	Gauges   map[string]int64            `json:"gauges,omitempty"`
+	Hists    map[string]metrics.Snapshot `json:"histograms,omitempty"`
+
+	HotActors []metrics.TopKEntry `json:"hot_actors,omitempty"`
+	Kinds     []KindProfile       `json:"kind_profiles,omitempty"`
+	// ProfTurns/ProfCPUNanos are the profiler-wide totals hot-actor
+	// shares are computed against.
+	ProfTurns    int64 `json:"prof_turns,omitempty"`
+	ProfCPUNanos int64 `json:"prof_cpu_nanos,omitempty"`
+
+	KindStats []KindStats    `json:"kind_stats,omitempty"`
+	Breakers  []BreakerState `json:"breakers,omitempty"`
+}
+
+// Obs assembles the process's current ObsSnapshot (also used in-process
+// by the benchmark harness, bypassing HTTP).
+func (in *Introspection) Obs() ObsSnapshot {
+	snap := ObsSnapshot{Silo: in.Name, Now: time.Now(), Pprof: in.Pprof}
+	if in.Registry != nil {
+		snap.Counters = in.Registry.Counters()
+		snap.Gauges = in.Registry.Gauges()
+		snap.Hists = in.Registry.Histograms()
+	}
+	if in.Runtime != nil {
+		rs := in.Runtime.IntrospectionSnapshot()
+		snap.Runtime = &rs
+	}
+	if in.Profiler != nil {
+		snap.HotActors = in.Profiler.HotActors()
+		snap.Kinds = in.Profiler.KindProfiles()
+		snap.ProfTurns, snap.ProfCPUNanos = in.Profiler.Totals()
+	}
+	if in.Tracer != nil {
+		snap.KindStats = in.Tracer.KindStats()
+	}
+	if in.Breakers != nil {
+		snap.Breakers = in.Breakers()
+	}
+	return snap
+}
+
+func (in *Introspection) serveObs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, in.Obs())
 }
 
 // Serve listens on addr and serves the introspection surface until ctx
@@ -177,6 +264,21 @@ func (in *Introspection) serveMetrics(w http.ResponseWriter, _ *http.Request) {
 				fmt.Fprintf(&b, "aodb_silo_kind_activations{silo=%q,kind=%q} %d\n",
 					n, promName(kind), s.ByKind[kind])
 			}
+		}
+	}
+	if in.Profiler != nil {
+		hot := in.Profiler.HotActors()
+		fmt.Fprintf(&b, "# TYPE aodb_hot_actor_cpu_nanos gauge\n")
+		for _, e := range hot {
+			fmt.Fprintf(&b, "aodb_hot_actor_cpu_nanos{actor=%q,silo=%q} %d\n", e.Key, promName(e.Label), e.Count)
+			fmt.Fprintf(&b, "aodb_hot_actor_turns{actor=%q,silo=%q} %d\n", e.Key, promName(e.Label), e.Turns)
+			fmt.Fprintf(&b, "aodb_hot_actor_mailbox_hwm{actor=%q,silo=%q} %d\n", e.Key, promName(e.Label), e.HighWater)
+		}
+		for _, kp := range in.Profiler.KindProfiles() {
+			k := promName(kp.Kind)
+			fmt.Fprintf(&b, "aodb_kind_cpu_nanos{kind=%q} %d\n", k, kp.CPUNanos)
+			fmt.Fprintf(&b, "aodb_kind_mailbox_hwm{kind=%q} %d\n", k, kp.MailboxHWM)
+			fmt.Fprintf(&b, "aodb_kind_max_state_bytes{kind=%q} %d\n", k, kp.MaxStateBytes)
 		}
 	}
 	if in.Breakers != nil {

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aodb/internal/metrics"
+)
+
+// ActorProfiler is the per-activation hot-spot accountant: every turn
+// feeds per-actor CPU burn, turn counts, mailbox-depth high-water marks,
+// and state sizes into a bounded-memory space-saving sketch, so the K
+// hottest actors surface even when millions of distinct actors activate.
+// Per-kind aggregates are kept exactly (the kind population is small).
+//
+// The design contract mirrors Tracer: a nil *ActorProfiler (or a disabled
+// one) costs exactly one nil-or-atomic check per turn, so the hot path
+// pays nothing when profiling is off.
+type ActorProfiler struct {
+	enabled atomic.Bool
+	hot     *metrics.TopK
+	kinds   sync.Map // kind string -> *kindProfile
+
+	turns      atomic.Int64 // total turns observed
+	cpuNanos   atomic.Int64 // total CPU nanos observed
+	stateBytes atomic.Int64 // total serialized-state bytes observed
+}
+
+// ProfilerConfig tunes an ActorProfiler. The zero value keeps the 64
+// hottest actors.
+type ProfilerConfig struct {
+	// K is the heavy-hitter sketch size (default 64). Memory is O(K)
+	// regardless of the actor population.
+	K int
+}
+
+// NewProfiler returns an enabled profiler.
+func NewProfiler(cfg ProfilerConfig) *ActorProfiler {
+	if cfg.K <= 0 {
+		cfg.K = 64
+	}
+	p := &ActorProfiler{hot: metrics.NewTopK(cfg.K)}
+	p.enabled.Store(true)
+	return p
+}
+
+// Enabled reports whether the profiler should be fed. This is the one
+// check disabled profiling costs on the turn path.
+func (p *ActorProfiler) Enabled() bool {
+	return p != nil && p.enabled.Load()
+}
+
+// SetEnabled toggles the profiler without losing accumulated data.
+func (p *ActorProfiler) SetEnabled(v bool) {
+	if p == nil {
+		return
+	}
+	p.enabled.Store(v)
+}
+
+// kindProfile aggregates per-kind accounting exactly.
+type kindProfile struct {
+	turns      atomic.Int64
+	cpuNanos   atomic.Int64
+	mailboxHWM atomic.Int64
+	stateBytes atomic.Int64 // max single serialized state seen for the kind
+}
+
+// KindProfile is the exported per-kind accounting snapshot.
+type KindProfile struct {
+	Kind string `json:"kind"`
+	// Turns and CPUNanos are totals since the profiler started.
+	Turns    int64 `json:"turns"`
+	CPUNanos int64 `json:"cpu_nanos"`
+	// MailboxHWM is the deepest backlog any activation of the kind has
+	// seen at turn start.
+	MailboxHWM int64 `json:"mailbox_hwm"`
+	// MaxStateBytes is the largest serialized state observed for the kind.
+	MaxStateBytes int64 `json:"max_state_bytes"`
+}
+
+// ObserveTurn accounts one completed turn: cpu is the turn's CPU burn
+// (simulated burn plus real handler time), depth the mailbox backlog at
+// turn start. Callers must gate on Enabled.
+func (p *ActorProfiler) ObserveTurn(actor, kind, silo string, cpu time.Duration, depth int) {
+	if p == nil {
+		return
+	}
+	w := int64(cpu)
+	if w < 1 {
+		// Zero-weight offers would never displace sketch residents; a
+		// 1ns floor keeps turn-count-hot (but cheap) actors rankable.
+		w = 1
+	}
+	p.turns.Add(1)
+	p.cpuNanos.Add(w)
+	p.hot.Observe(actor, w, metrics.TopKEntry{Turns: 1, HighWater: int64(depth), Bytes: -1, Label: silo})
+	kp := p.kind(kind)
+	kp.turns.Add(1)
+	kp.cpuNanos.Add(w)
+	for {
+		cur := kp.mailboxHWM.Load()
+		if int64(depth) <= cur || kp.mailboxHWM.CompareAndSwap(cur, int64(depth)) {
+			break
+		}
+	}
+}
+
+// ObserveState accounts one serialized-state observation (a load or a
+// write) of the given size.
+func (p *ActorProfiler) ObserveState(actor, kind string, bytes int) {
+	if p == nil || bytes < 0 {
+		return
+	}
+	p.stateBytes.Add(int64(bytes))
+	p.hot.Observe(actor, 0, metrics.TopKEntry{Bytes: int64(bytes)})
+	kp := p.kind(kind)
+	for {
+		cur := kp.stateBytes.Load()
+		if int64(bytes) <= cur || kp.stateBytes.CompareAndSwap(cur, int64(bytes)) {
+			break
+		}
+	}
+}
+
+func (p *ActorProfiler) kind(kind string) *kindProfile {
+	if v, ok := p.kinds.Load(kind); ok {
+		return v.(*kindProfile)
+	}
+	v, _ := p.kinds.LoadOrStore(kind, &kindProfile{})
+	return v.(*kindProfile)
+}
+
+// HotActors returns the sketch's resident heavy hitters, hottest first:
+// Key is the actor id, Count its CPU nanos (upper bound, Err the slack),
+// Turns/HighWater/Bytes the auxiliary accounting, Label the hosting silo.
+func (p *ActorProfiler) HotActors() []metrics.TopKEntry {
+	if p == nil {
+		return nil
+	}
+	return p.hot.Snapshot()
+}
+
+// KindProfiles snapshots the exact per-kind aggregates.
+func (p *ActorProfiler) KindProfiles() []KindProfile {
+	if p == nil {
+		return nil
+	}
+	var out []KindProfile
+	p.kinds.Range(func(k, v any) bool {
+		kp := v.(*kindProfile)
+		out = append(out, KindProfile{
+			Kind:          k.(string),
+			Turns:         kp.turns.Load(),
+			CPUNanos:      kp.cpuNanos.Load(),
+			MailboxHWM:    kp.mailboxHWM.Load(),
+			MaxStateBytes: kp.stateBytes.Load(),
+		})
+		return true
+	})
+	return out
+}
+
+// Totals returns the profiler-wide turn and CPU totals, used by the
+// aggregator to express hot-actor shares.
+func (p *ActorProfiler) Totals() (turns, cpuNanos int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.turns.Load(), p.cpuNanos.Load()
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfilerDisabledContract(t *testing.T) {
+	var p *ActorProfiler
+	if p.Enabled() {
+		t.Fatal("nil profiler reports enabled")
+	}
+	p.SetEnabled(true) // must not panic
+	p.ObserveTurn("Sensor@1", "Sensor", "silo-1", time.Millisecond, 1)
+	p.ObserveState("Sensor@1", "Sensor", 10)
+	if p.HotActors() != nil || p.KindProfiles() != nil {
+		t.Fatal("nil profiler returned data")
+	}
+	real := NewProfiler(ProfilerConfig{})
+	if !real.Enabled() {
+		t.Fatal("new profiler disabled")
+	}
+	real.SetEnabled(false)
+	if real.Enabled() {
+		t.Fatal("SetEnabled(false) ignored")
+	}
+}
+
+func TestProfilerAccounting(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{K: 8})
+	p.ObserveTurn("Sensor@hot", "Sensor", "silo-1", 3*time.Millisecond, 5)
+	p.ObserveTurn("Sensor@hot", "Sensor", "silo-1", 2*time.Millisecond, 2)
+	p.ObserveTurn("Org@1", "Org", "silo-2", time.Millisecond, 9)
+	p.ObserveState("Sensor@hot", "Sensor", 4096)
+
+	hot := p.HotActors()
+	if len(hot) != 2 {
+		t.Fatalf("hot actors = %d, want 2", len(hot))
+	}
+	top := hot[0]
+	if top.Key != "Sensor@hot" || top.Count != int64(5*time.Millisecond) ||
+		top.Turns != 2 || top.HighWater != 5 || top.Bytes != 4096 || top.Label != "silo-1" {
+		t.Fatalf("top hot actor = %+v", top)
+	}
+
+	kinds := map[string]KindProfile{}
+	for _, kp := range p.KindProfiles() {
+		kinds[kp.Kind] = kp
+	}
+	s := kinds["Sensor"]
+	if s.Turns != 2 || s.CPUNanos != int64(5*time.Millisecond) || s.MailboxHWM != 5 || s.MaxStateBytes != 4096 {
+		t.Fatalf("Sensor kind profile = %+v", s)
+	}
+	if o := kinds["Org"]; o.MailboxHWM != 9 {
+		t.Fatalf("Org kind profile = %+v", o)
+	}
+	turns, cpu := p.Totals()
+	if turns != 3 || cpu != int64(6*time.Millisecond) {
+		t.Fatalf("totals = %d turns, %d cpu", turns, cpu)
+	}
+}
+
+func TestProfilerZeroCostTurnsStillRank(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{K: 4})
+	for i := 0; i < 100; i++ {
+		p.ObserveTurn("Echo@busy", "Echo", "silo-1", 0, 0)
+	}
+	hot := p.HotActors()
+	if len(hot) == 0 || hot[0].Key != "Echo@busy" || hot[0].Turns != 100 {
+		t.Fatalf("zero-cost turns not ranked: %+v", hot)
+	}
+}
+
+// TestProfilerBoundedMemory drives 100k+ distinct actors through a small
+// sketch: the acceptance criterion's O(K) memory check at the profiler
+// level.
+func TestProfilerBoundedMemory(t *testing.T) {
+	const k = 32
+	p := NewProfiler(ProfilerConfig{K: k})
+	for i := 0; i < 110000; i++ {
+		p.ObserveTurn(fmt.Sprintf("Sensor@%d", i), "Sensor", "silo-1", time.Microsecond, 0)
+		if i%100 == 0 {
+			p.ObserveTurn("Sensor@heavy", "Sensor", "silo-1", time.Millisecond, 3)
+		}
+	}
+	hot := p.HotActors()
+	if len(hot) > k {
+		t.Fatalf("sketch grew to %d entries, want <= %d", len(hot), k)
+	}
+	if hot[0].Key != "Sensor@heavy" {
+		t.Fatalf("heavy actor not on top: %+v", hot[0])
+	}
+	turns, _ := p.Totals()
+	if turns != 110000+1100 {
+		t.Fatalf("turns = %d", turns)
+	}
+}
+
+func TestProfilerConcurrent(t *testing.T) {
+	p := NewProfiler(ProfilerConfig{K: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				p.ObserveTurn(fmt.Sprintf("A@%d", i%64), "A", "silo-1", time.Microsecond, i%10)
+				if i%50 == 0 {
+					p.ObserveState(fmt.Sprintf("A@%d", i%64), "A", i)
+					_ = p.HotActors()
+					_ = p.KindProfiles()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	turns, _ := p.Totals()
+	if turns != 8*3000 {
+		t.Fatalf("turns = %d, want 24000", turns)
+	}
+}
+
+// TestSpanRingConcurrentPushSnapshot is the span-ring half of the
+// satellite race audit: concurrent Finish (push) and Spans (snapshot)
+// must neither race nor tear the ring accounting.
+func TestSpanRingConcurrentPushSnapshot(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_, sp := tr.StartRoot(fmt.Sprintf("call Echo@%d", i))
+				tr.Finish(sp, nil)
+				tr.ObserveTurn("Echo", time.Duration(i))
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		spans := tr.Spans()
+		if len(spans) > 64 {
+			t.Fatalf("ring snapshot has %d spans, cap 64", len(spans))
+		}
+		_ = tr.SlowSpans()
+		_ = tr.KindStats()
+	}
+	wg.Wait()
+	if tr.Recorded() != 4*2000 {
+		t.Fatalf("recorded = %d, want 8000", tr.Recorded())
+	}
+}
+
+// TestFinishRacesWithLateFlushAttribution reproduces the torn read the
+// satellite audit found: a cancelled Call/Tell returns (and finishes its
+// root span) while the transport writer goroutine is still attributing
+// flush wait into the same span. Finish must capture accumulators
+// atomically; under -race the old plain struct copy fails this test.
+func TestFinishRacesWithLateFlushAttribution(t *testing.T) {
+	tr := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		_, sp := tr.StartRoot("call Echo@x")
+		wg.Add(1)
+		go func(sp *Span) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp.AddFlushWait(time.Nanosecond)
+				sp.AddStoreWrite(time.Nanosecond)
+				sp.AddNested(time.Nanosecond)
+			}
+		}(sp)
+		tr.Finish(sp, nil)
+	}
+	wg.Wait()
+	if tr.Recorded() != 50 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+}

@@ -152,6 +152,28 @@ func (s *Span) ChildContext() SpanContext {
 	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID, Sampled: true}
 }
 
+// capture copies the span for storage, reading the accumulator fields
+// atomically. Helpers on other goroutines can still be attributing into
+// the span when it is finished — a cancelled Call/Tell returns to the
+// caller while the transport's writer goroutine later attributes the
+// frame's queue-to-wire time — so a plain struct copy would be a torn
+// read. Late attributions after capture are dropped by design: the
+// recorded span reflects what had been attributed when it finished.
+func (s *Span) capture() Span {
+	c := Span{
+		TraceID: s.TraceID, SpanID: s.SpanID, Parent: s.Parent, Kind: s.Kind,
+		Actor: s.Actor, Silo: s.Silo, Remote: s.Remote, Start: s.Start, Dur: s.Dur,
+		Mailbox: s.Mailbox, CPUWait: s.CPUWait, CPUBurn: s.CPUBurn, Exec: s.Exec,
+		Retries: s.Retries, Err: s.Err,
+	}
+	c.Nested = time.Duration(atomic.LoadInt64((*int64)(&s.Nested)))
+	c.StoreRead = time.Duration(atomic.LoadInt64((*int64)(&s.StoreRead)))
+	c.StoreWrite = time.Duration(atomic.LoadInt64((*int64)(&s.StoreWrite)))
+	c.FlushWait = time.Duration(atomic.LoadInt64((*int64)(&s.FlushWait)))
+	c.Hops = atomic.LoadInt32(&s.Hops)
+	return c
+}
+
 // ExecSelf is handler time net of nested calls and storage — the turn's
 // own computation.
 func (s Span) ExecSelf() time.Duration {
@@ -340,11 +362,12 @@ func (t *Tracer) Finish(sp *Span, err error) {
 	if err != nil {
 		sp.Err = err.Error()
 	}
+	c := sp.capture()
 	t.recorded.Add(1)
-	t.store.push(*sp)
-	if sp.Kind == KindTurn && sp.Dur >= t.cfg.SlowTurn {
+	t.store.push(c)
+	if c.Kind == KindTurn && c.Dur >= t.cfg.SlowTurn {
 		t.slowCount.Add(1)
-		t.slow.push(*sp)
+		t.slow.push(c)
 	}
 }
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke test.
+#
+# Boots one shmserver silo with introspection, hot-spot profiling, and
+# the in-process cluster aggregator; drives a short shmload run against
+# it; then checks that `shmtop -once` renders a non-empty hot-actor
+# panel and that /cluster serves merged hot actors and histograms.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LISTEN=${LISTEN:-127.0.0.1:7301}
+OBS=${OBS:-127.0.0.1:9301}
+
+bin=$(mktemp -d)
+server_pid=
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  [ -n "$server_pid" ] && wait "$server_pid" 2>/dev/null || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/shmserver ./cmd/shmload ./cmd/shmtop
+
+"$bin/shmserver" -name silo-1 -listen "$LISTEN" -silos silo-1 \
+  -introspect "$OBS" -profile -history -history-every 500ms &
+server_pid=$!
+
+for _ in $(seq 50); do
+  curl -sf "http://$OBS/obs" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$OBS/obs" >/dev/null || { echo "obs smoke: silo introspection never came up"; exit 1; }
+
+"$bin/shmload" -name loadclient -silos silo-1 -peers "silo-1=$LISTEN" \
+  -sensors 20 -duration 4s -warmup 1s -queries=true
+
+sleep 1 # one aggregator round past the load
+
+frame=$("$bin/shmtop" -cluster "http://$OBS" -once -k 10)
+echo "$frame"
+echo "$frame" | grep -q "1/1 silos up" || { echo "obs smoke: silo not reported up"; exit 1; }
+echo "$frame" | grep -q "HOT ACTORS"   || { echo "obs smoke: hot-actor panel missing"; exit 1; }
+echo "$frame" | grep -Eq "(Sensor|Org|User)/" || { echo "obs smoke: no hot actors attributed"; exit 1; }
+echo "$frame" | grep -q "TAIL LATENCY" || { echo "obs smoke: merged histograms missing"; exit 1; }
+
+# Capture before grepping: `curl | grep -q` under pipefail can fail on
+# the early-exit SIGPIPE even when the match is present.
+cluster=$(curl -sf "http://$OBS/cluster")
+echo "$cluster" | grep -q '"hot_actors"' \
+  || { echo "obs smoke: /cluster missing hot_actors"; exit 1; }
+prom=$(curl -sf "http://$OBS/cluster/prom")
+echo "$prom" | grep -q 'aodb_cluster_silos_up 1' \
+  || { echo "obs smoke: /cluster/prom missing silo gauge"; exit 1; }
+history=$(curl -sf "http://$OBS/cluster/history")
+echo "$history" | grep -q '"quantiles"' \
+  || { echo "obs smoke: /cluster/history empty"; exit 1; }
+
+echo "obs smoke: OK"
