@@ -12,6 +12,7 @@
 //	shmbench -fig all            # everything
 //	shmbench -ablation placement # random vs prefer-local vs consistent-hash
 //	shmbench -ablation durability
+//	shmbench -ablation replication  # N/R/W quorum latency vs losses under disk wipes
 //	shmbench -transport          # wire-path microbench: batch vs nobatch x 1/8/64 callers
 //
 // Each data point runs -duration (default 8s) with the first -warmup
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 9, or all")
-	ablation := flag.String("ablation", "", "ablation to run: placement, durability, or ingest")
+	ablation := flag.String("ablation", "", "ablation to run: placement, durability, ingest, or replication (N/R/W quorum tradeoff)")
 	duration := flag.Duration("duration", 8*time.Second, "measurement duration per data point")
 	warmup := flag.Duration("warmup", 0, "warmup to discard (default duration/4)")
 	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
@@ -142,6 +143,17 @@ func run(ctx context.Context, fig, ablation string, transportBench, hot bool, ho
 			return err
 		}
 		bench.PrintIngest(out, results)
+	case "replication":
+		dir, err := os.MkdirTemp("", "shmbench-repl-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		rows, err := bench.QuorumAblation(ctx, dir, opts.Duration/2, nil)
+		if err != nil {
+			return err
+		}
+		bench.PrintQuorum(out, rows)
 	default:
 		return fmt.Errorf("unknown ablation %q", ablation)
 	}

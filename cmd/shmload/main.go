@@ -32,6 +32,9 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "sample every Nth request when tracing")
 	stripes := flag.Int("stripes", 0, "gob connection stripes per silo (0 = min(4, GOMAXPROCS))")
 	noBatching := flag.Bool("no-batching", false, "disable transport write coalescing (measured baseline)")
+	replicas := flag.Int("replicas", 0, "cluster's -replicas setting (accepted for a shared flag set; state replication happens on the silos)")
+	readQuorum := flag.Int("read-quorum", 0, "cluster's -read-quorum setting (accepted for a shared flag set)")
+	writeQuorum := flag.Int("write-quorum", 0, "cluster's -write-quorum setting (accepted for a shared flag set)")
 	flag.Parse()
 
 	opts := siloboot.Options{
@@ -40,6 +43,9 @@ func main() {
 		Silos:         *silos,
 		Peers:         *peers,
 		TCP:           transport.TCPOptions{Stripes: *stripes, NoBatching: *noBatching},
+		Replicas:      *replicas,
+		ReadQuorum:    *readQuorum,
+		WriteQuorum:   *writeQuorum,
 		Trace:         *trace,
 		TraceSample:   *traceSample,
 		TraceCapacity: 1 << 17,

@@ -16,7 +16,15 @@
 // With -store DIR the silo persists actor state through the WAL-backed
 // kvstore and recovers it on restart; adding -durable makes every state
 // write block until its WAL record is fsynced, group-committed across
-// concurrent writers. With -introspect ADDR the silo
+// concurrent writers. Adding -replicas N (identical on every silo)
+// replicates actor state N ways across the cluster's stores: state
+// writes must reach a -write-quorum of replicas before they ack, reads
+// assemble a -read-quorum with read-repair, failed replicas get hinted
+// handoff, and a background anti-entropy sweep (-sweep-every)
+// reconciles divergence — so wiping one silo's -store directory loses
+// nothing that was acknowledged (see scripts/repl_smoke.sh). On
+// shutdown the silo drains its hint queue and puts a final WAL sync
+// barrier on the store. With -introspect ADDR the silo
 // serves its runtime state over HTTP: /metrics (Prometheus text),
 // /trace (recent sampled spans; ?slow=1 for slow turns), /actors
 // (per-silo activation and mailbox gauges), and /obs (the mergeable
@@ -53,6 +61,7 @@ import (
 	"fmt"
 	"log"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -72,6 +81,10 @@ func main() {
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated name=addr pairs for the other silos")
 	flag.StringVar(&cfg.storeDir, "store", "", "durability directory (empty = in-memory)")
 	flag.BoolVar(&cfg.durable, "durable", false, "with -store, fsync every actor-state write via WAL group commit (ack => on disk)")
+	flag.IntVar(&cfg.replicas, "replicas", 0, "replicate actor state across N silos with quorum reads/writes (0/1 = off; needs -store)")
+	flag.IntVar(&cfg.readQuorum, "read-quorum", 0, "replicas that must answer a state read (0 = majority of -replicas)")
+	flag.IntVar(&cfg.writeQuorum, "write-quorum", 0, "replicas that must ack a state write (0 = majority of -replicas)")
+	flag.DurationVar(&cfg.sweepEvery, "sweep-every", 30*time.Second, "anti-entropy sweep period with -replicas")
 	flag.StringVar(&cfg.introspect, "introspect", "", "HTTP introspection listen address (empty = off)")
 	flag.BoolVar(&cfg.trace, "trace", false, "enable distributed tracing")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 1, "sample every Nth request when tracing")
@@ -98,6 +111,9 @@ type serverConfig struct {
 	name, listen, silos, peers, storeDir string
 	introspect                           string
 	durable                              bool
+	replicas                             int
+	readQuorum, writeQuorum              int
+	sweepEvery                           time.Duration
 	trace                                bool
 	traceSample                          int
 	slowTurn                             time.Duration
@@ -124,6 +140,13 @@ func run(ctx context.Context, cfg serverConfig) error {
 	} else if cfg.durable {
 		return fmt.Errorf("-durable needs -store DIR")
 	}
+	hintDir := ""
+	if cfg.replicas > 1 {
+		if cfg.storeDir == "" {
+			return fmt.Errorf("-replicas needs -store DIR")
+		}
+		hintDir = filepath.Join(cfg.storeDir, "hints")
+	}
 
 	node, err := siloboot.Start(siloboot.Options{
 		Name:   cfg.name,
@@ -139,6 +162,11 @@ func run(ctx context.Context, cfg serverConfig) error {
 		// of stalling every call during its dial timeout.
 		Breaker:     true,
 		Store:       store,
+		Replicas:    cfg.replicas,
+		ReadQuorum:  cfg.readQuorum,
+		WriteQuorum: cfg.writeQuorum,
+		HintDir:     hintDir,
+		SweepEvery:  cfg.sweepEvery,
 		Trace:       cfg.trace,
 		TraceSample: cfg.traceSample,
 		SlowTurn:    cfg.slowTurn,
@@ -160,6 +188,11 @@ func run(ctx context.Context, cfg serverConfig) error {
 		return err
 	}
 	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", cfg.name, node.TCP.Addr(), cfg.silos)
+	if node.Coordinator != nil {
+		r, w := node.Coordinator.Quorums()
+		fmt.Printf("shmserver: replicating actor state %d-way (R=%d, W=%d, sweep every %v)\n",
+			node.Coordinator.N(), r, w, cfg.sweepEvery)
+	}
 
 	// The introspection endpoint shares the signal context: on SIGINT it
 	// drains in-flight scrapes before the runtime goes away underneath it.
@@ -200,7 +233,13 @@ func run(ctx context.Context, cfg serverConfig) error {
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	return rt.Shutdown(shCtx)
+	if err := rt.Shutdown(shCtx); err != nil {
+		return err
+	}
+	// Storage drain barrier: with replication on, flush the hint queue
+	// toward reachable homes and fsync it, then put a final WAL sync on
+	// the store — nothing acknowledged is left in memory.
+	return node.Drain(shCtx)
 }
 
 func obsTargets(pairs string) []obs.Target {

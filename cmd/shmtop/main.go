@@ -173,6 +173,19 @@ func render(snap obs.ClusterSnapshot, k int) string {
 	}
 	tw.Flush()
 
+	// Replica health: summed replication counters across the cluster
+	// (hints pending is a gauge — nonzero means some home is still owed
+	// writes; divergent keys count anti-entropy repairs). Shown only when
+	// the cluster replicates.
+	if replicating(snap) {
+		fmt.Fprintf(&b, "\nREPLICATION  hints pending=%d replayed=%d  read-repairs=%d  anti-entropy: divergent=%d sweeps=%d\n",
+			snap.Gauges["replication.hints.pending"],
+			snap.Counters["replication.hints.replayed"],
+			snap.Counters["replication.readrepair.count"],
+			snap.Counters["replication.antientropy.divergent_keys"],
+			snap.Counters["replication.antientropy.sweeps"])
+	}
+
 	// Merged tail percentiles, busiest histograms first.
 	names := make([]string, 0, len(snap.Hists))
 	for name, h := range snap.Hists {
@@ -240,6 +253,21 @@ func render(snap obs.ClusterSnapshot, k int) string {
 		tw.Flush()
 	}
 	return b.String()
+}
+
+// replicating reports whether any silo exported replication metrics.
+func replicating(snap obs.ClusterSnapshot) bool {
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "replication.") {
+			return true
+		}
+	}
+	for name := range snap.Gauges {
+		if strings.HasPrefix(name, "replication.") {
+			return true
+		}
+	}
+	return false
 }
 
 // dur renders nanoseconds compactly.

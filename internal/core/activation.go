@@ -280,27 +280,30 @@ func (a *activation) context(ctx context.Context, chain []string) *Context {
 	return &Context{Context: ctx, rt: a.silo.rt, silo: a.silo, self: a.id, act: a, chain: chain}
 }
 
-// loadState hydrates a Stateful actor from the state table, remembering
+// loadState hydrates a Stateful actor from the state store, remembering
 // the version it loaded so later writes can be fenced.
 func (a *activation) loadState(ctx context.Context) error {
 	st, ok := a.actor.(Stateful)
-	if !ok || a.silo.rt.stateTable == nil {
+	if !ok || a.silo.rt.states == nil {
 		return nil
 	}
-	it, err := a.silo.rt.stateTable.Get(ctx, a.id.String())
+	data, ver, err := a.silo.rt.states.Load(ctx, a.id.String())
 	if err != nil {
 		if isNotFound(err) {
-			a.stateVersion = 0
-			return nil // first activation ever: keep zero-value state
+			// First activation ever: keep zero-value state, but adopt the
+			// store's version claim — zero for a plain table, a bumped
+			// epoch when a replicated store found a tombstone.
+			a.stateVersion = ver
+			return nil
 		}
 		return err
 	}
-	if err := json.Unmarshal(it.Value, st.State()); err != nil {
+	if err := json.Unmarshal(data, st.State()); err != nil {
 		return fmt.Errorf("core: corrupt state for %s: %w", a.id, err)
 	}
-	a.stateVersion = it.Version
+	a.stateVersion = ver
 	if prof := a.silo.rt.profiler; prof.Enabled() {
-		prof.ObserveState(a.id.String(), a.id.Kind, len(it.Value))
+		prof.ObserveState(a.id.String(), a.id.Kind, len(data))
 	}
 	return nil
 }
@@ -316,14 +319,14 @@ func (a *activation) writeState(ctx context.Context) error {
 	if !ok {
 		return fmt.Errorf("core: %s is not Stateful", a.id)
 	}
-	if a.silo.rt.stateTable == nil {
+	if a.silo.rt.states == nil {
 		return nil // no store configured: treat as volatile
 	}
 	data, err := json.Marshal(st.State())
 	if err != nil {
 		return err
 	}
-	next, err := a.silo.rt.stateTable.PutIf(ctx, a.id.String(), data, a.stateVersion)
+	next, err := a.silo.rt.states.Store(ctx, a.id.String(), data, a.stateVersion)
 	if err != nil {
 		if errors.Is(err, kvstore.ErrVersionMismatch) {
 			a.silo.metrics.Counter("core.stale_writes_fenced").Inc()

@@ -88,12 +88,21 @@ func IsWrongSilo(err error) bool {
 //   - permanent: everything else — unknown kinds, invalid IDs, call
 //     cycles, runtime shutdown, actor panics, and any error an actor's
 //     own handler returned (the turn ran; retrying would re-execute it).
+//
+// Errors from layers core does not import can self-classify by
+// implementing `TransientError() bool` anywhere in their chain — the
+// replication layer's quorum failure does (replicas come back; the
+// caller saw no ack, so retrying is safe).
 func Transient(err error) bool {
 	if err == nil {
 		return false
 	}
 	if errors.Is(err, ErrTransient) {
 		return true
+	}
+	var t interface{ TransientError() bool }
+	if errors.As(err, &t) {
+		return t.TransientError()
 	}
 	if transport.IsUnreachable(err) {
 		return true

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aodb/internal/capacity"
@@ -86,6 +87,12 @@ type Config struct {
 	Placement placement.Strategy
 	// Store enables actor-state persistence and reminders when set.
 	Store *kvstore.Store
+	// States overrides where activation state loads and flushes go. Nil
+	// uses Store's state table directly; a replication coordinator's
+	// state store routes them through quorum reads and writes instead.
+	// Store (for reminders and the table default) may still be set
+	// alongside it.
+	States StateStore
 	// StateTable names the grain-state table in Store (default "grains").
 	StateTable string
 	// StateThroughput provisions the state table when it must be created
@@ -128,15 +135,21 @@ type Config struct {
 // Runtime is an actor-oriented database instance: a set of silos, a grain
 // directory, kind registrations, and the shared persistence plumbing.
 type Runtime struct {
-	cfg        Config
-	clk        clock.Clock
-	retry      RetryPolicy // cfg.Retry with defaults resolved
-	directory  *directory.Directory
-	metrics    *metrics.Registry
-	tracer     *telemetry.Tracer        // nil = tracing off
-	profiler   *telemetry.ActorProfiler // nil = profiling off
-	stateTable *kvstore.Table
-	reminders  *systemstore.Store
+	cfg       Config
+	clk       clock.Clock
+	retry     RetryPolicy // cfg.Retry with defaults resolved
+	directory *directory.Directory
+	metrics   *metrics.Registry
+	tracer    *telemetry.Tracer        // nil = tracing off
+	profiler  *telemetry.ActorProfiler // nil = profiling off
+	states    StateStore               // nil = no persistence
+	reminders *systemstore.Store
+
+	// services maps reserved transport target kinds (e.g. replication
+	// RPCs) to their handlers. Copy-on-write: the hot inbound path does
+	// one atomic load and, for actor traffic on a runtime with no
+	// services, one nil check.
+	services atomic.Pointer[map[string]ServiceHandler]
 
 	mu       sync.RWMutex
 	kinds    map[string]*kindConfig
@@ -188,7 +201,7 @@ func New(cfg Config) (*Runtime, error) {
 		if err != nil {
 			return nil, err
 		}
-		rt.stateTable = table
+		rt.states = tableStateStore{t: table}
 		sys, err := systemstore.New(cfg.Store, cfg.Clock)
 		if err != nil {
 			return nil, err
@@ -200,7 +213,46 @@ func New(cfg Config) (*Runtime, error) {
 			go rt.reminderLoop()
 		}
 	}
+	if cfg.States != nil {
+		rt.states = cfg.States
+	}
 	return rt, nil
+}
+
+// ServiceHandler serves requests addressed to a reserved (non-actor)
+// target kind on behalf of the silo named by the second argument. It
+// runs on the transport's inbound path, outside any actor mailbox.
+type ServiceHandler func(ctx context.Context, silo string, req transport.Request) (any, error)
+
+// RegisterService binds a handler for a reserved transport target kind,
+// dispatched on every hosted silo before actor resolution. Kinds should
+// be outside the actor namespace (the replication service uses "!repl").
+// Re-registering a kind replaces its handler.
+func (rt *Runtime) RegisterService(kind string, h ServiceHandler) error {
+	if kind == "" || h == nil {
+		return errors.New("core: RegisterService needs a kind and handler")
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	old := rt.services.Load()
+	next := make(map[string]ServiceHandler, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[kind] = h
+	rt.services.Store(&next)
+	return nil
+}
+
+// service returns the handler for kind, or nil.
+func (rt *Runtime) service(kind string) ServiceHandler {
+	m := rt.services.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[kind]
 }
 
 // RegisterKind makes a kind callable. It must be called before any actor

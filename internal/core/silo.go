@@ -59,6 +59,11 @@ func (s *Silo) Activations() int {
 // handle is the transport-facing entry point for messages addressed to
 // actors this silo should host.
 func (s *Silo) handle(ctx context.Context, req transport.Request) (any, error) {
+	// Reserved service kinds (replication RPCs) bypass actor resolution;
+	// a runtime with no services pays one atomic load and a nil check.
+	if h := s.rt.service(req.TargetKind); h != nil {
+		return h(ctx, s.name, req)
+	}
 	id := ID{Kind: req.TargetKind, Key: req.TargetKey}
 	// An empty sender is an external client; both that and another silo's
 	// name count as a remote hop for trace attribution.

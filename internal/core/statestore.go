@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+
+	"aodb/internal/kvstore"
+)
+
+// StateStore abstracts where activation state lives. The default
+// implementation is the runtime's single grain-state table; the
+// replication coordinator substitutes a quorum-replicated store without
+// the activation lifecycle knowing the difference. Both error contracts
+// carry over from kvstore: a missing key's error matches
+// kvstore.ErrNotFound, and a fenced write's matches
+// kvstore.ErrVersionMismatch (which is what trips the zombie-activation
+// self-deactivation in writeState).
+type StateStore interface {
+	// Load returns the state bytes and the version the caller's writes
+	// must fence on. On a missing key it returns an ErrNotFound-matching
+	// error together with the version the caller must still adopt —
+	// zero for the plain table, possibly a bumped epoch claim for a
+	// replicated store that found a tombstone.
+	Load(ctx context.Context, key string) (data []byte, version int64, err error)
+	// Store persists data fenced on version and returns the new version.
+	Store(ctx context.Context, key string, data []byte, version int64) (int64, error)
+}
+
+// tableStateStore is the default StateStore: the runtime's grain-state
+// kvstore table, preserving the exact pre-replication Get/PutIf
+// behavior (and its hot-path cost).
+type tableStateStore struct {
+	t *kvstore.Table
+}
+
+func (s tableStateStore) Load(ctx context.Context, key string) ([]byte, int64, error) {
+	it, err := s.t.Get(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return it.Value, it.Version, nil
+}
+
+func (s tableStateStore) Store(ctx context.Context, key string, data []byte, version int64) (int64, error) {
+	return s.t.PutIf(ctx, key, data, version)
+}

@@ -68,6 +68,13 @@ type Config struct {
 	// Panic is the probability an actor turn panics before the handler
 	// runs, exercising the runtime's panic isolation.
 	Panic float64
+	// Wipe is the probability a WipeDecision consultation tells the
+	// chaos harness to destroy a replica's storage (see StorageWipe).
+	Wipe float64
+	// Stall is the probability a WAL fsync is stalled by up to MaxStall
+	// (deterministic magnitude) before completing; see DiskStall.
+	Stall    float64
+	MaxStall time.Duration
 	// Clock times injected delays; nil means the real clock.
 	Clock clock.Clock
 }

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Replica-storage faults: total storage loss (StorageWipe) and slowed
+// durability (DiskStall). Both ride the same seeded decision machinery
+// as the message and kvstore faults, so a chaos soak that wipes replicas
+// reproduces exactly under its seed.
+
+// ErrInjectedWipe marks a storage wipe performed by the chaos harness.
+var ErrInjectedWipe = fmt.Errorf("faults: injected storage wipe")
+
+// WipeDecision consults the seeded "wipe:<silo>" fault point: whether
+// this consultation should wipe the silo's replica storage. The harness
+// owns the mechanics (close store, StorageWipe the directory, reopen);
+// the injector only supplies reproducible timing.
+func (i *Injector) WipeDecision(silo string) bool {
+	fire, _ := i.decide("wipe:"+silo, i.cfgWipe())
+	return fire
+}
+
+func (i *Injector) cfgWipe() float64 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.Wipe
+}
+
+// StorageWipe destroys a replica's persistent storage: every WAL
+// segment, snapshot, and hint file under dir is removed, while dir
+// itself remains so the store can be recreated in place. This models
+// losing a disk, the failure replication exists to survive — after a
+// wipe the silo must recover its state from its peers (read-repair,
+// hinted handoff, anti-entropy), not from local media.
+func StorageWipe(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, e := range entries {
+		if err := os.RemoveAll(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiskStall returns an fsync hook for wal.Log.InjectSyncFault that, at
+// the configured probability, sleeps a deterministic duration in
+// (0, MaxStall] before performing the real fsync — a disk whose flushes
+// intermittently take orders of magnitude longer than usual (firmware
+// GC pauses, contended virtualized volumes). Stalls slow durability but
+// never fail it, which is what distinguishes a stalling disk from a
+// failing one (KVWrite).
+func (i *Injector) DiskStall() func(*os.File) error {
+	return func(f *os.File) error {
+		if fire, sum := i.decide("stall", i.cfgStall()); fire {
+			d := time.Duration(sum%uint64(i.maxStall())) + 1
+			tm := i.clk.NewTimer(d)
+			<-tm.C()
+			tm.Stop()
+		}
+		return f.Sync()
+	}
+}
+
+func (i *Injector) cfgStall() float64 {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.Stall
+}
+
+func (i *Injector) maxStall() time.Duration {
+	if i == nil || i.cfg.MaxStall <= 0 {
+		return 10 * time.Millisecond
+	}
+	return i.cfg.MaxStall
+}

@@ -566,6 +566,84 @@ func (t *Table) put(ctx context.Context, key string, value []byte, expect int64,
 	return next, nil
 }
 
+// Merge writes value under key only when the decide callback, run under
+// the table lock against the current item, approves. It is the replica-
+// role API for replication: a replica applying a possibly-duplicated,
+// possibly-stale incoming mutation compares it against what it holds and
+// either applies or declines in one atomic pass, with the same durable
+// staging and rollback discipline as Put. The callback sees the current
+// item (zero Item when absent or expired) and must not block, mutate
+// cur.Value, or retain it past the call. Returns whether the write was
+// applied; a declined merge performs no I/O and is not an error.
+func (t *Table) Merge(ctx context.Context, key string, value []byte, ttl time.Duration, decide func(cur Item, exists bool) bool) (bool, error) {
+	if key == "" {
+		return false, errors.New("kvstore: empty key")
+	}
+	if decide == nil {
+		return false, errors.New("kvstore: Merge needs a decide callback")
+	}
+	if err := t.store.injectWriteFault(t.name, key); err != nil {
+		return false, err
+	}
+	if t.writes != nil {
+		if err := t.writes.Take(ctx, max1(writeUnits(len(value)))); err != nil {
+			return false, err
+		}
+	}
+	now := t.store.clk.Now()
+	t.mu.Lock()
+	cur, exists := t.items[key]
+	if exists && cur.expired(now) {
+		// Same convention as put: expired items are logically absent but
+		// keep the version counter monotone.
+		exists = false
+	}
+	var seen Item
+	if exists {
+		seen = cur
+	}
+	if !decide(seen, exists) {
+		t.mu.Unlock()
+		return false, nil
+	}
+	next := cur.Version + 1
+	stored := append([]byte(nil), value...)
+	item := Item{Key: key, Value: stored, Version: next}
+	var record []byte
+	if ttl > 0 {
+		item.ExpiresAt = now.Add(ttl)
+		record = encodeRecordTTL(t.name, key, stored, next, item.ExpiresAt)
+	} else {
+		record = encodeRecord(opPut, t.name, key, stored, next)
+	}
+	ack, err := t.store.stageMutation(record)
+	if err != nil {
+		t.mu.Unlock()
+		return false, err
+	}
+	prev, hadPrev := t.items[key]
+	prevSeq := t.noteMutation(key, ack)
+	t.items[key] = item
+	t.store.reg.Counter("kvstore.writes").Inc()
+	t.mu.Unlock()
+	if err := t.store.awaitDurable(ctx, ack); err != nil {
+		// Same fenced unwind as put: never let an unacknowledged merge be
+		// read back.
+		t.mu.Lock()
+		if t.rollbackAllowed(key, ack) {
+			if hadPrev {
+				t.items[key] = prev
+			} else {
+				delete(t.items, key)
+			}
+			t.mutSeq[key] = prevSeq
+		}
+		t.mu.Unlock()
+		return false, err
+	}
+	return true, nil
+}
+
 // DeleteIf removes key only at the expected version, for read-modify-
 // delete flows. Deleting a missing (or expired) item fails the condition.
 func (t *Table) DeleteIf(ctx context.Context, key string, expect int64) error {

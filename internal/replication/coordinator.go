@@ -1,0 +1,649 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aodb/internal/clock"
+	"aodb/internal/kvstore"
+	"aodb/internal/metrics"
+	"aodb/internal/transport"
+)
+
+// Caller is the slice of transport.Transport the coordinator needs to
+// reach remote replicas. transport.Local, transport.TCP, and every
+// wrapper (breakers, fault injectors) satisfy it.
+type Caller interface {
+	Call(ctx context.Context, node string, req transport.Request) (any, error)
+}
+
+// Config configures a quorum Coordinator.
+type Config struct {
+	// Ring maps keys to home replica sets. Required.
+	Ring *Ring
+	// N, R, W are the replication factor and the read/write quorum
+	// sizes. Defaults: N=1 (clamped to the ring size), R and W to
+	// majorities of N. The classic R+W > N intersection guarantee — and
+	// the W > N/2 zombie fence — hold only for those majority settings;
+	// smaller quorums trade them away for latency, which is exactly the
+	// ablation the benchmark measures.
+	N, R, W int
+	// Transport reaches remote replica stores; requests carry TargetKind
+	// and are served by a Service on the peer. Required unless every
+	// ring member is wired through Local below.
+	Transport Caller
+	// Sender is the silo name stamped on outgoing RPCs ("" = external
+	// client). With transports that loop self-calls back locally this is
+	// also the node whose calls skip the network.
+	Sender string
+	// Local maps silo names to in-process replica stores. Calls to these
+	// silos bypass the transport entirely — the N=1 fast path costs one
+	// map probe more than a bare kvstore write. Leave empty (as the
+	// chaos soak does) to force every replica hop through the transport,
+	// faults and all.
+	Local map[string]*Store
+	// Alive, when set, reports whether a silo is believed reachable;
+	// writes skip straight to a stand-in (plus a hint) for silos it
+	// vetoes instead of paying a timeout. Nil means optimistic: every
+	// home is tried and failures demote to stand-ins.
+	Alive func(silo string) bool
+	// HintDir persists the hinted-handoff queue; empty disables hinting
+	// (failed home writes then simply don't count toward W).
+	HintDir string
+	// TombstoneTTL bounds how long deleted keys keep their tombstones
+	// before TTL reclamation (default 1h).
+	TombstoneTTL time.Duration
+	// CallTimeout bounds each replica RPC (default 2s).
+	CallTimeout time.Duration
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Metrics receives replication instrumentation; nil allocates one.
+	Metrics *metrics.Registry
+}
+
+// quorumErr is the sentinel type behind ErrQuorum. It self-classifies as
+// transient for core's retry taxonomy (via TransientError) without the
+// replication layer importing core: quorums reassemble when crashed or
+// rebuilding replicas come back, so callers should retry.
+type quorumErr struct{}
+
+func (quorumErr) Error() string        { return "replication: quorum not reached" }
+func (quorumErr) TransientError() bool { return true }
+
+// ErrQuorum reports a read or write that could not assemble its quorum.
+// It is a transient condition (core.Transient returns true for it):
+// replicas may return, and the caller sees no ack, so retrying is safe.
+var ErrQuorum error = quorumErr{}
+
+// errFenced wraps kvstore.ErrVersionMismatch so core's stale-activation
+// detection (errors.Is on ErrVersionMismatch) fires on quorum writes
+// exactly as it does on single-table conditional puts.
+func errFenced(key string, v Version, out Outcome) error {
+	return fmt.Errorf("%w: quorum write %s at %s fenced (%s)", kvstore.ErrVersionMismatch, key, v, out)
+}
+
+// Coordinator performs quorum reads and writes over the replica ring,
+// with sloppy quorums, hinted handoff, and read-repair. One coordinator
+// serves a whole process (shmserver) or a whole simulated cluster (the
+// bench harness); it is safe for concurrent use.
+type Coordinator struct {
+	cfg   Config
+	hints *HintQueue // nil when hinting is disabled
+
+	mu       sync.Mutex
+	suspects map[string]*suspect
+
+	mReadRepair *metrics.Counter
+	mReplayed   *metrics.Counter
+	mSloppy     *metrics.Counter
+	mHinted     *metrics.Counter
+}
+
+// suspect tracks consecutive replica-storage failures for one silo, the
+// signal behind Unhealthy.
+type suspect struct {
+	fails int
+	since time.Time
+}
+
+// unhealthyAfter is how many consecutive replica failures mark a silo's
+// storage dead for placement filtering.
+const unhealthyAfter = 3
+
+// NewCoordinator builds a Coordinator, opening its hint queue when
+// HintDir is set (pending hints from a previous run are recovered).
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.Ring == nil {
+		return nil, errors.New("replication: coordinator needs a ring")
+	}
+	if cfg.N <= 0 {
+		cfg.N = 1
+	}
+	if cfg.N > cfg.Ring.Size() {
+		cfg.N = cfg.Ring.Size()
+	}
+	if cfg.R <= 0 {
+		cfg.R = cfg.N/2 + 1
+	}
+	if cfg.W <= 0 {
+		cfg.W = cfg.N/2 + 1
+	}
+	if cfg.R > cfg.N {
+		cfg.R = cfg.N
+	}
+	if cfg.W > cfg.N {
+		cfg.W = cfg.N
+	}
+	if cfg.TombstoneTTL <= 0 {
+		cfg.TombstoneTTL = time.Hour
+	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Transport == nil {
+		for _, silo := range cfg.Ring.Members() {
+			if _, ok := cfg.Local[silo]; !ok {
+				return nil, fmt.Errorf("replication: no transport and no local store for %q", silo)
+			}
+		}
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		suspects:    make(map[string]*suspect),
+		mReadRepair: cfg.Metrics.Counter("replication.readrepair.count"),
+		mReplayed:   cfg.Metrics.Counter("replication.hints.replayed"),
+		mSloppy:     cfg.Metrics.Counter("replication.writes.sloppy"),
+		mHinted:     cfg.Metrics.Counter("replication.hints.recorded"),
+	}
+	if cfg.HintDir != "" {
+		q, err := OpenHintQueue(cfg.HintDir, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		c.hints = q
+	}
+	return c, nil
+}
+
+// N returns the effective replication factor.
+func (c *Coordinator) N() int { return c.cfg.N }
+
+// Quorums returns the effective read and write quorum sizes.
+func (c *Coordinator) Quorums() (r, w int) { return c.cfg.R, c.cfg.W }
+
+// Hints exposes the hint queue (nil when hinting is disabled).
+func (c *Coordinator) Hints() *HintQueue { return c.hints }
+
+// Close flushes what it can — one last hint-replay pass toward alive
+// homes, then a hint-WAL sync — and releases the queue. Replica stores
+// and the transport belong to the caller.
+func (c *Coordinator) Close(ctx context.Context) error {
+	if c.hints == nil {
+		return nil
+	}
+	_, _ = c.ReplayHints(ctx)
+	if err := c.hints.Sync(); err != nil {
+		_ = c.hints.Close()
+		return err
+	}
+	return c.hints.Close()
+}
+
+// alive reports whether writes should try silo at all.
+func (c *Coordinator) alive(silo string) bool {
+	if c.cfg.Alive == nil {
+		return true
+	}
+	return c.cfg.Alive(silo)
+}
+
+// noteResult feeds the storage-health tracker behind Unhealthy.
+func (c *Coordinator) noteResult(silo string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.suspects[silo]
+	if err == nil {
+		if s != nil {
+			delete(c.suspects, silo)
+		}
+		return
+	}
+	if s == nil {
+		s = &suspect{}
+		c.suspects[silo] = s
+	}
+	s.fails++
+	s.since = c.cfg.Clock.Now()
+}
+
+// Unhealthy reports whether silo's replica storage has been failing —
+// the predicate cluster.FilteredView composes to steer actor placement
+// away from storage-dead silos until their replica answers again.
+func (c *Coordinator) Unhealthy(silo string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.suspects[silo]
+	return s != nil && s.fails >= unhealthyAfter
+}
+
+// call performs one replica RPC, preferring the in-process store.
+func (c *Coordinator) call(ctx context.Context, silo string, payload any) (any, error) {
+	if st, ok := c.cfg.Local[silo]; ok {
+		return serveLocal(ctx, st, payload)
+	}
+	if c.cfg.Transport == nil {
+		return nil, &transport.UnreachableError{Node: silo, Err: errors.New("replication: no route")}
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	return c.cfg.Transport.Call(cctx, silo, transport.Request{
+		TargetKind: TargetKind,
+		TargetKey:  silo,
+		Method:     "call",
+		Payload:    payload,
+		Sender:     c.cfg.Sender,
+	})
+}
+
+// serveLocal dispatches payload against an in-process store without
+// codec round-trips, mirroring Service.Handle.
+func serveLocal(ctx context.Context, st *Store, payload any) (any, error) {
+	switch m := payload.(type) {
+	case rpcApply:
+		env, err := DecodeEnvelope(m.Env)
+		if err != nil {
+			return nil, err
+		}
+		out, err := st.Apply(ctx, m.Key, env)
+		if err != nil {
+			return nil, err
+		}
+		return rpcApplyResp{Outcome: uint8(out)}, nil
+	case rpcFetch:
+		env, found, err := st.Fetch(ctx, m.Key)
+		if err != nil {
+			return nil, err
+		}
+		resp := rpcFetchResp{Found: found}
+		if found {
+			resp.Env = env.Encode()
+		}
+		return resp, nil
+	case rpcDigest:
+		d, err := st.Digest(ctx, m.Peer, m.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		return rpcDigestResp{Buckets: d}, nil
+	case rpcKeys:
+		ks, err := st.BucketKeys(ctx, m.Peer, m.Bucket, m.Buckets)
+		if err != nil {
+			return nil, err
+		}
+		return rpcKeysResp{Keys: ks}, nil
+	}
+	return nil, fmt.Errorf("%w: payload %T", errBadRPC, payload)
+}
+
+func (c *Coordinator) applyTo(ctx context.Context, silo, key string, enc []byte) (Outcome, error) {
+	resp, err := c.call(ctx, silo, rpcApply{Key: key, Env: enc})
+	c.noteResult(silo, err)
+	if err != nil {
+		return 0, err
+	}
+	r, ok := resp.(rpcApplyResp)
+	if !ok {
+		return 0, fmt.Errorf("%w: apply response %T", errBadRPC, resp)
+	}
+	return Outcome(r.Outcome), nil
+}
+
+func (c *Coordinator) fetchFrom(ctx context.Context, silo, key string) (Envelope, bool, error) {
+	resp, err := c.call(ctx, silo, rpcFetch{Key: key})
+	c.noteResult(silo, err)
+	if err != nil {
+		return Envelope{}, false, err
+	}
+	r, ok := resp.(rpcFetchResp)
+	if !ok {
+		return Envelope{}, false, fmt.Errorf("%w: fetch response %T", errBadRPC, resp)
+	}
+	if !r.Found {
+		return Envelope{}, false, nil
+	}
+	env, err := DecodeEnvelope(r.Env)
+	if err != nil {
+		return Envelope{}, false, err
+	}
+	return env, true, nil
+}
+
+// writeQuorum pushes enc to the key's home set until W replicas hold it,
+// demoting dead or failing homes to stand-ins from the extended
+// preference list and recording a durable hint for each missed home.
+// Fenced outcomes (Stale/Conflict) abort immediately: a newer epoch owns
+// the key.
+func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope) error {
+	enc := env.Encode()
+	homes := c.cfg.Ring.ReplicaSet(key, c.cfg.N)
+	pref := c.cfg.Ring.Preference(key, c.cfg.N, c.cfg.Ring.Size()-c.cfg.N)
+	standins := pref[len(homes):]
+	nextStandin := 0
+
+	acked := 0
+	var firstErr error
+	var attemptHints []uint64
+	type res struct {
+		silo string
+		out  Outcome
+		err  error
+	}
+	results := make(chan res, len(homes))
+	tried := 0
+	for _, h := range homes {
+		if !c.alive(h) {
+			// Known-dead home: skip the timeout, go straight to handoff.
+			results <- res{silo: h, err: &transport.UnreachableError{Node: h, Err: errors.New("replication: vetoed by alive check")}}
+			continue
+		}
+		tried++
+		go func(silo string) {
+			out, err := c.applyTo(ctx, silo, key, enc)
+			results <- res{silo: silo, out: out, err: err}
+		}(h)
+	}
+	for i := 0; i < len(homes); i++ {
+		r := <-results
+		if r.err == nil {
+			switch r.out {
+			case Applied, Equal:
+				acked++
+			case Stale, Conflict:
+				c.dropHints(attemptHints)
+				return errFenced(key, env.Version, r.out)
+			}
+			continue
+		}
+		if firstErr == nil {
+			firstErr = r.err
+		}
+		// Sloppy quorum: hand the write to the next healthy stand-in and
+		// leave a durable hint pointing back at the missed home.
+		c.hintAndHandoff(ctx, r.silo, key, enc, standins, &nextStandin, &acked, &attemptHints)
+	}
+	if acked >= c.cfg.W {
+		return nil
+	}
+	// The write failed: the caller gets no ack, so this attempt's hints
+	// must not outlive it. The caller's version did not advance, so its
+	// retry reuses this (epoch, seq) with different bytes — a surviving
+	// hint from the failed attempt, replayed after the retry is acked,
+	// could win the same-version value-hash tie-break and erase the
+	// acknowledged write on every replica.
+	c.dropHints(attemptHints)
+	if firstErr != nil {
+		return fmt.Errorf("%w: %s got %d/%d acks: %v", ErrQuorum, key, acked, c.cfg.W, firstErr)
+	}
+	return fmt.Errorf("%w: %s got %d/%d acks", ErrQuorum, key, acked, c.cfg.W)
+}
+
+// dropHints best-effort retires the hints a failed write attempt
+// recorded. Drop is idempotent, so racing a concurrent replay is safe.
+func (c *Coordinator) dropHints(ids []uint64) {
+	if c.hints == nil {
+		return
+	}
+	for _, id := range ids {
+		_ = c.hints.Drop(id)
+	}
+}
+
+// hintAndHandoff records a hint for a missed home and, to keep the
+// sloppy quorum honest, stores the envelope on the next live stand-in.
+// The stand-in ack counts toward W only when the hint is durably
+// recorded first — otherwise a coordinator crash could strand the only
+// pointer from the stand-in copy back to the home set. The hint's id is
+// appended to attemptHints so the caller can retire it if the overall
+// write fails its quorum.
+func (c *Coordinator) hintAndHandoff(ctx context.Context, home, key string, enc []byte, standins []string, nextStandin *int, acked *int, attemptHints *[]uint64) {
+	hinted := false
+	if c.hints != nil {
+		if id, err := c.hints.Add(Hint{Home: home, Key: key, Env: enc}); err == nil {
+			hinted = true
+			*attemptHints = append(*attemptHints, id)
+			c.mHinted.Inc()
+		}
+	}
+	if !hinted {
+		return
+	}
+	for *nextStandin < len(standins) {
+		s := standins[*nextStandin]
+		*nextStandin++
+		if !c.alive(s) {
+			continue
+		}
+		out, err := c.applyTo(ctx, s, key, enc)
+		if err != nil {
+			continue
+		}
+		if out == Applied || out == Equal {
+			*acked++
+			c.mSloppy.Inc()
+			return
+		}
+		// Stale/Conflict on a stand-in: it already holds something newer
+		// (an earlier handoff); the hint still covers the home.
+		return
+	}
+}
+
+// readQuorum collects R replica answers for key (a clean "not found"
+// counts as an answer) and returns the winning envelope under the
+// (version, value-hash) order, repairing any responder that returned an
+// older answer. found is false when no responder held the key.
+func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, bool, error) {
+	homes := c.cfg.Ring.ReplicaSet(key, c.cfg.N)
+	pref := c.cfg.Ring.Preference(key, c.cfg.N, c.cfg.Ring.Size()-c.cfg.N)
+
+	type res struct {
+		silo  string
+		env   Envelope
+		found bool
+		err   error
+	}
+	results := make(chan res, len(homes))
+	for _, h := range homes {
+		go func(silo string) {
+			env, found, err := c.fetchFrom(ctx, silo, key)
+			results <- res{silo: silo, env: env, found: found, err: err}
+		}(h)
+	}
+	var oks []res
+	var firstErr error
+	for i := 0; i < len(homes); i++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		oks = append(oks, r)
+	}
+	// Home quorum short? Fall back to stand-ins: during a sloppy-quorum
+	// window they may hold the only reachable copies.
+	for i := len(homes); len(oks) < c.cfg.R && i < len(pref); i++ {
+		s := pref[i]
+		if !c.alive(s) {
+			continue
+		}
+		env, found, err := c.fetchFrom(ctx, s, key)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		oks = append(oks, res{silo: s, env: env, found: found})
+	}
+	if len(oks) < c.cfg.R {
+		if firstErr != nil {
+			return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads: %v", ErrQuorum, key, len(oks), c.cfg.R, firstErr)
+		}
+		return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads", ErrQuorum, key, len(oks), c.cfg.R)
+	}
+	var win Envelope
+	var winFound bool
+	for _, r := range oks {
+		if !r.found {
+			continue
+		}
+		if !winFound || newerEnv(r.env, win) {
+			win, winFound = r.env, true
+		}
+	}
+	if !winFound {
+		return Envelope{}, false, nil
+	}
+	// Read-repair: push the winner to every responder that answered with
+	// something older (or nothing). Best-effort and synchronous — the
+	// repairs hit at most R-1 replicas that just proved reachable.
+	enc := win.Encode()
+	for _, r := range oks {
+		if r.found && !newerEnv(win, r.env) {
+			continue
+		}
+		if out, err := c.applyTo(ctx, r.silo, key, enc); err == nil && out == Applied {
+			c.mReadRepair.Inc()
+		}
+	}
+	return win, true, nil
+}
+
+// newerEnv orders envelopes by (version, value-hash) — the same total
+// order replicas apply, so reads, repairs, and anti-entropy all agree on
+// one winner.
+func newerEnv(a, b Envelope) bool {
+	if cp := a.Version.Compare(b.Version); cp != 0 {
+		return cp > 0
+	}
+	return hashEnv(a) > hashEnv(b)
+}
+
+// Load performs a quorum read for an activation about to own key. The
+// returned version is the new activation's fencing claim: the loaded
+// envelope's epoch plus one, sequence zero, so every write this
+// activation makes orders above everything its predecessors wrote.
+// Missing keys return an error matching kvstore.ErrNotFound with the
+// version the caller must still adopt (a reclaimed-tombstone epoch, or
+// zero for virgin keys).
+func (c *Coordinator) Load(ctx context.Context, key string) ([]byte, int64, error) {
+	env, found, err := c.readQuorum(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("%w: %s", kvstore.ErrNotFound, key)
+	}
+	next := Version{Epoch: env.Version.Epoch + 1}
+	if env.Tombstone {
+		// Deleted: absent to the caller, but the epoch claim must order
+		// above the tombstone or new writes would be stale-rejected.
+		return nil, next.Packed(), fmt.Errorf("%w: %s (deleted)", kvstore.ErrNotFound, key)
+	}
+	return env.Value, next.Packed(), nil
+}
+
+// Get performs a plain quorum read (no epoch claim): the currently
+// visible value and its packed version. Missing and deleted keys return
+// an error matching kvstore.ErrNotFound.
+func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, int64, error) {
+	env, found, err := c.readQuorum(ctx, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !found || env.Tombstone {
+		return nil, 0, fmt.Errorf("%w: %s", kvstore.ErrNotFound, key)
+	}
+	return env.Value, env.Version.Packed(), nil
+}
+
+// Store quorum-writes data under key, fenced on the packed version the
+// caller loaded at: the write carries (epoch, seq+1), and any replica
+// holding a higher version rejects it, surfacing as an error matching
+// kvstore.ErrVersionMismatch. On success the caller's new version is
+// returned.
+func (c *Coordinator) Store(ctx context.Context, key string, data []byte, version int64) (int64, error) {
+	v := Unpack(version)
+	next := Version{Epoch: v.Epoch, Seq: v.Seq + 1}
+	if next.Seq == 0 {
+		// Sequence wrap after 4B writes in one epoch: move to a fresh
+		// epoch rather than reusing (E, 0).
+		next = Version{Epoch: v.Epoch + 1, Seq: 1}
+	}
+	env := Envelope{Version: next, Value: data}
+	if err := c.writeQuorum(ctx, key, env); err != nil {
+		return 0, err
+	}
+	return next.Packed(), nil
+}
+
+// Delete quorum-writes a tombstone for key, fenced like Store. The
+// tombstone carries an absolute expiry TombstoneTTL from now; replicas
+// reclaim it via kvstore TTL once every replica has had a chance to see
+// it.
+func (c *Coordinator) Delete(ctx context.Context, key string, version int64) error {
+	v := Unpack(version)
+	next := Version{Epoch: v.Epoch, Seq: v.Seq + 1}
+	if next.Seq == 0 {
+		next = Version{Epoch: v.Epoch + 1, Seq: 1}
+	}
+	env := Envelope{
+		Version:   next,
+		Tombstone: true,
+		Expires:   c.cfg.Clock.Now().Add(c.cfg.TombstoneTTL),
+	}
+	return c.writeQuorum(ctx, key, env)
+}
+
+// ReplayHints delivers pending hints whose home silos are alive,
+// dropping each hint once its envelope lands (or proves superseded —
+// Apply's if-newer rule makes redelivery harmless, so replay after a
+// partial previous replay, a coordinator crash, or a home crash
+// mid-handoff converges to the same state). Returns how many hints were
+// delivered and how many remain.
+func (c *Coordinator) ReplayHints(ctx context.Context) (delivered, remaining int) {
+	if c.hints == nil {
+		return 0, 0
+	}
+	for _, home := range c.hints.Homes() {
+		if !c.alive(home) {
+			continue
+		}
+		ids, hints := c.hints.For(home)
+		for i, h := range hints {
+			if ctx.Err() != nil {
+				return delivered, c.hints.Pending()
+			}
+			if _, err := c.applyTo(ctx, h.Home, h.Key, h.Env); err != nil {
+				break // home went away again; keep its remaining hints
+			}
+			if err := c.hints.Drop(ids[i]); err != nil {
+				return delivered, c.hints.Pending()
+			}
+			delivered++
+			c.mReplayed.Inc()
+		}
+	}
+	return delivered, c.hints.Pending()
+}

@@ -1,0 +1,233 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aodb/internal/metrics"
+	"aodb/internal/wal"
+)
+
+// Hint is one write a home replica missed: the silo that should hold the
+// envelope, the key, and the envelope itself. Hints are self-contained —
+// replaying one is a plain Apply to the home, idempotent by the replica's
+// if-newer rule — so replay needs no quorum read and survives any
+// interleaving of crashes and retries.
+type Hint struct {
+	Home string
+	Key  string
+	Env  []byte // encoded Envelope
+}
+
+// HintQueue is the durable hinted-handoff queue one coordinator keeps.
+// Every add and drop is a WAL record, so a coordinator crash loses no
+// hints and replays at most re-deliver (which Apply absorbs). The WAL is
+// truncated whenever the queue drains empty.
+type HintQueue struct {
+	mu      sync.Mutex
+	log     *wal.Log
+	pending map[uint64]Hint // add-record seq -> hint
+	gauge   *metrics.Gauge
+	closed  bool
+}
+
+const (
+	hintAdd  = byte(1)
+	hintDrop = byte(2)
+)
+
+func encodeHintAdd(h Hint) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(h.Home)+len(h.Key)+len(h.Env))
+	buf = append(buf, hintAdd)
+	buf = binary.AppendUvarint(buf, uint64(len(h.Home)))
+	buf = append(buf, h.Home...)
+	buf = binary.AppendUvarint(buf, uint64(len(h.Key)))
+	buf = append(buf, h.Key...)
+	buf = append(buf, h.Env...)
+	return buf
+}
+
+func encodeHintDrop(seq uint64) []byte {
+	buf := make([]byte, 0, 1+binary.MaxVarintLen64)
+	buf = append(buf, hintDrop)
+	buf = binary.AppendUvarint(buf, seq)
+	return buf
+}
+
+func decodeHint(payload []byte) (op byte, seq uint64, h Hint, err error) {
+	if len(payload) < 1 {
+		return 0, 0, Hint{}, fmt.Errorf("replication: empty hint record")
+	}
+	op = payload[0]
+	rest := payload[1:]
+	switch op {
+	case hintDrop:
+		seq, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, 0, Hint{}, fmt.Errorf("replication: malformed hint drop")
+		}
+		return op, seq, Hint{}, nil
+	case hintAdd:
+		hl, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < hl {
+			return 0, 0, Hint{}, fmt.Errorf("replication: malformed hint add")
+		}
+		rest = rest[n:]
+		h.Home = string(rest[:hl])
+		rest = rest[hl:]
+		kl, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < kl {
+			return 0, 0, Hint{}, fmt.Errorf("replication: malformed hint add")
+		}
+		rest = rest[n:]
+		h.Key = string(rest[:kl])
+		h.Env = append([]byte(nil), rest[kl:]...)
+		return op, 0, h, nil
+	}
+	return 0, 0, Hint{}, fmt.Errorf("replication: unknown hint op %d", op)
+}
+
+// OpenHintQueue opens (or creates) the hint WAL in dir and nets its
+// add/drop records into the in-memory pending set. reg may be nil.
+func OpenHintQueue(dir string, reg *metrics.Registry) (*HintQueue, error) {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	log, err := wal.Open(dir, wal.Options{SyncEveryAppend: true, Metrics: reg})
+	if err != nil {
+		return nil, err
+	}
+	q := &HintQueue{
+		log:     log,
+		pending: make(map[uint64]Hint),
+		gauge:   reg.Gauge("replication.hints.pending"),
+	}
+	err = log.Replay(func(seq uint64, payload []byte) error {
+		op, dropSeq, h, derr := decodeHint(payload)
+		if derr != nil {
+			return derr
+		}
+		switch op {
+		case hintAdd:
+			q.pending[seq] = h
+		case hintDrop:
+			delete(q.pending, dropSeq)
+		}
+		return nil
+	})
+	if err != nil {
+		_ = log.Close()
+		return nil, err
+	}
+	q.gauge.Set(int64(len(q.pending)))
+	return q, nil
+}
+
+// Add durably records a hint and returns its id. The record rides the
+// WAL's group commit, so concurrent hint writers share fsyncs.
+func (q *HintQueue) Add(h Hint) (uint64, error) {
+	ack, err := q.log.Stage(encodeHintAdd(h))
+	if err != nil {
+		return 0, err
+	}
+	if err := ack.Wait(); err != nil {
+		return 0, err
+	}
+	q.mu.Lock()
+	q.pending[ack.Seq()] = h
+	q.gauge.Set(int64(len(q.pending)))
+	q.mu.Unlock()
+	return ack.Seq(), nil
+}
+
+// Drop durably retires a delivered hint. When the queue drains empty the
+// WAL is truncated so hint storage stays bounded by the backlog, not the
+// history.
+func (q *HintQueue) Drop(id uint64) error {
+	q.mu.Lock()
+	if _, ok := q.pending[id]; !ok {
+		q.mu.Unlock()
+		return nil
+	}
+	q.mu.Unlock()
+	ack, err := q.log.Stage(encodeHintDrop(id))
+	if err != nil {
+		return err
+	}
+	if err := ack.Wait(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	delete(q.pending, id)
+	empty := len(q.pending) == 0
+	q.gauge.Set(int64(len(q.pending)))
+	q.mu.Unlock()
+	if empty {
+		// Best-effort compaction: everything before NextSeq is netted out.
+		_ = q.log.TruncateBefore(q.log.NextSeq())
+	}
+	return nil
+}
+
+// Pending returns the number of undelivered hints.
+func (q *HintQueue) Pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// Homes lists the distinct home silos with pending hints, sorted.
+func (q *HintQueue) Homes() []string {
+	q.mu.Lock()
+	seen := make(map[string]bool)
+	for _, h := range q.pending {
+		seen[h.Home] = true
+	}
+	q.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// For returns the pending hints addressed to home as (id, hint) pairs,
+// oldest first.
+func (q *HintQueue) For(home string) (ids []uint64, hints []Hint) {
+	type pair struct {
+		id uint64
+		h  Hint
+	}
+	var pairs []pair
+	q.mu.Lock()
+	for id, h := range q.pending {
+		if h.Home == home {
+			pairs = append(pairs, pair{id, h})
+		}
+	}
+	q.mu.Unlock()
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].id < pairs[b].id })
+	for _, p := range pairs {
+		ids = append(ids, p.id)
+		hints = append(hints, p.h)
+	}
+	return ids, hints
+}
+
+// Sync forces the hint WAL to disk — the graceful-drain barrier.
+func (q *HintQueue) Sync() error { return q.log.Sync() }
+
+// Close syncs and closes the hint WAL.
+func (q *HintQueue) Close() error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	q.mu.Unlock()
+	return q.log.Close()
+}

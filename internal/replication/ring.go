@@ -1,0 +1,136 @@
+package replication
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fnv64 is FNV-1a over s, the same base hash the placement ring uses,
+// widened to 64 bits for the replica ring and digest folding.
+func fnv64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer; it scatters the structured FNV
+// output so vnode points and digest buckets distribute uniformly.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func keyPoint(key string) uint64 { return mix64(fnv64(key)) }
+
+// ringVnodes is the number of virtual nodes per silo. Matches the
+// placement ring's density so replica spread stays even at small
+// cluster sizes.
+const ringVnodes = 256
+
+// Ring maps keys to ordered replica sets with a consistent-hash ring of
+// virtual nodes. The ring is built over the full static membership — not
+// the live view — so a key's home replicas stay stable while a silo is
+// down; that stability is what makes hinted handoff meaningful (the hint
+// names a home that will come back, not a moving target).
+type Ring struct {
+	points []ringPoint // sorted by hash
+	silos  []string    // distinct members, stable order
+}
+
+type ringPoint struct {
+	hash uint64
+	silo int // index into silos
+}
+
+// NewRing builds a ring over the given silos. Order and duplicates are
+// normalized away; at least one silo is required.
+func NewRing(silos []string) (*Ring, error) {
+	uniq := make([]string, 0, len(silos))
+	seen := make(map[string]bool, len(silos))
+	for _, s := range silos {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		uniq = append(uniq, s)
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("replication: ring needs at least one silo")
+	}
+	sort.Strings(uniq)
+	r := &Ring{silos: uniq, points: make([]ringPoint, 0, len(uniq)*ringVnodes)}
+	for i, s := range uniq {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: mix64(fnv64(fmt.Sprintf("%s#%d", s, v))), silo: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// Members returns the silos the ring was built over, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.silos...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.silos) }
+
+// ReplicaSet returns the n distinct silos that home the key, in
+// preference order: the first owner clockwise from the key's point,
+// then successive distinct silos around the ring. n is clamped to the
+// member count.
+func (r *Ring) ReplicaSet(key string, n int) []string {
+	return r.walk(key, n, nil)
+}
+
+// Preference returns the key's home set of size n extended by up to
+// extra additional distinct silos — the stand-in candidates a sloppy
+// quorum may write to when home replicas are down. The first n entries
+// are exactly ReplicaSet(key, n).
+func (r *Ring) Preference(key string, n, extra int) []string {
+	return r.walk(key, n+extra, nil)
+}
+
+func (r *Ring) walk(key string, n int, out []string) []string {
+	if n > len(r.silos) {
+		n = len(r.silos)
+	}
+	if n <= 0 {
+		return nil
+	}
+	h := keyPoint(key)
+	idx := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if idx == len(r.points) {
+		idx = 0
+	}
+	taken := make([]bool, len(r.silos))
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(idx+i)%len(r.points)]
+		if taken[p.silo] {
+			continue
+		}
+		taken[p.silo] = true
+		out = append(out, r.silos[p.silo])
+	}
+	return out
+}
+
+// Homes reports whether silo is in the key's N-replica home set.
+func (r *Ring) Homes(key string, n int, silo string) bool {
+	for _, s := range r.ReplicaSet(key, n) {
+		if s == silo {
+			return true
+		}
+	}
+	return false
+}

@@ -8,6 +8,8 @@
 package siloboot
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"time"
 
@@ -16,6 +18,7 @@ import (
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/placement"
+	"aodb/internal/replication"
 	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
@@ -38,6 +41,23 @@ type Options struct {
 
 	// Store, when non-nil, enables actor-state persistence.
 	Store *kvstore.Store
+
+	// Replicas enables replicated actor state when > 1 (and Store is
+	// set): every state load and flush goes through an N/R/W quorum
+	// coordinator over the cluster's replica stores, with hinted handoff
+	// and a background anti-entropy sweep. On a storeless process (the
+	// load client) the knob is inert — replication lives where state
+	// does.
+	Replicas int
+	// ReadQuorum / WriteQuorum override R and W (0 = majority of
+	// Replicas).
+	ReadQuorum  int
+	WriteQuorum int
+	// HintDir persists the hinted-handoff queue (usually a subdirectory
+	// of the store dir; it is the coordinator's disk, not a replica's).
+	HintDir string
+	// SweepEvery is the anti-entropy period (0 = 30s).
+	SweepEvery time.Duration
 
 	// Trace enables distributed tracing: sample every TraceSample-th
 	// request (minimum 1), flag turns slower than SlowTurn, keep
@@ -67,6 +87,13 @@ type Node struct {
 	Tracer   *telemetry.Tracer  // nil unless Options.Trace
 	Profiler *telemetry.ActorProfiler
 	Runtime  *core.Runtime
+	// Coordinator and Sweeper are set when replication is on; the
+	// command owns their shutdown (see Drain).
+	Coordinator *replication.Coordinator
+	Sweeper     *replication.Sweeper
+	store       *kvstore.Store
+	// bootstrapCancel stops the rebuilding-gate bootstrap loop.
+	bootstrapCancel context.CancelFunc
 }
 
 // Start builds the transport, placement, and runtime. The caller still
@@ -113,29 +140,148 @@ func Start(opts Options) (*Node, error) {
 		profiler = telemetry.NewProfiler(telemetry.ProfilerConfig{K: opts.ProfileK})
 	}
 
+	// Replicated state: this process hosts its own replica store locally
+	// (the N=1 fast path never touches the transport) and reaches peer
+	// replicas through the same breaker-wrapped transport as actor
+	// traffic. The coordinator becomes the runtime's state store, and
+	// storage-dead silos are vetoed from placement alongside open-circuit
+	// ones.
+	var view cluster.Viewer = cluster.NewStaticView(strings.Split(opts.Silos, ",")...)
+	var coord *replication.Coordinator
+	var sweeper *replication.Sweeper
+	var svc *replication.Service
+	var rstore *replication.Store
+	if opts.Replicas > 1 && opts.Store != nil {
+		ring, err := replication.NewRing(strings.Split(opts.Silos, ","))
+		if err != nil {
+			return nil, err
+		}
+		tab, err := opts.Store.EnsureTable("grains", kvstore.Throughput{})
+		if err != nil {
+			return nil, err
+		}
+		rstore, err = replication.NewStore(replication.StoreConfig{
+			Silo: opts.Name, Table: tab, Ring: ring, N: opts.Replicas, Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc = replication.NewService()
+		svc.Host(opts.Name, rstore)
+		coord, err = replication.NewCoordinator(replication.Config{
+			Ring:      ring,
+			N:         opts.Replicas,
+			R:         opts.ReadQuorum,
+			W:         opts.WriteQuorum,
+			Transport: tr,
+			Sender:    opts.Name,
+			Local:     map[string]*replication.Store{opts.Name: rstore},
+			HintDir:   opts.HintDir,
+			Metrics:   reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		view = cluster.NewFilteredView(view, coord.Unhealthy)
+	} else if opts.Replicas > 1 && opts.Store == nil && memberOf(opts.Name, opts.Silos) {
+		// A process that is itself one of the cluster's silos cannot
+		// replicate without somewhere to keep its replica; a storeless
+		// load client merely passing the shared flag set through is fine.
+		return nil, errors.New("siloboot: -replicas on a silo needs -store")
+	}
+
 	hash := placement.NewConsistentHash()
 	hash.PrefixSep = '@'
-	rt, err := core.New(core.Config{
+	cfg := core.Config{
 		Transport: tr,
 		Placement: hash,
 		Store:     opts.Store,
-		View:      cluster.NewStaticView(strings.Split(opts.Silos, ",")...),
+		View:      view,
 		Tracer:    tracer,
 		Profiler:  profiler,
 		Metrics:   reg,
-	})
+	}
+	if coord != nil {
+		cfg.States = coord
+	}
+	rt, err := core.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	var bootstrapCancel context.CancelFunc
+	if coord != nil {
+		if err := rt.RegisterService(replication.TargetKind, svc.Handle); err != nil {
+			return nil, err
+		}
+		sweeper = replication.NewSweeper(coord, opts.SweepEvery, opts.Name, 0)
+		sweeper.Start()
+		// Gate this silo's replica reads until one anti-entropy pass over
+		// its peer pairs comes back clean. A replica restarted onto wiped
+		// (or stale) storage must not answer quorum reads — its absences
+		// are meaningless and can defeat quorum intersection (see
+		// replication.ErrRebuilding). A fresh or caught-up store clears
+		// the gate on the first clean pass, typically well under a second
+		// once peers are reachable; a wiped one stays gated until its
+		// peers push everything back. Quorum reads meanwhile fail
+		// transient and retry, or are served by the ungated replicas.
+		rstore.SetRebuilding(true)
+		var bctx context.Context
+		bctx, bootstrapCancel = context.WithCancel(context.Background())
+		go func() {
+			for bctx.Err() == nil {
+				sctx, cancel := context.WithTimeout(bctx, 5*time.Second)
+				n, serr := coord.SweepOnce(sctx, opts.Name, 0)
+				cancel()
+				if serr == nil && n == 0 {
+					rstore.SetRebuilding(false)
+					return
+				}
+				select {
+				case <-bctx.Done():
+				case <-time.After(200 * time.Millisecond):
+				}
+			}
+		}()
+	}
 	return &Node{
-		Name:     opts.Name,
-		Registry: reg,
-		TCP:      tcp,
-		Breaker:  breaker,
-		Tracer:   tracer,
-		Profiler: profiler,
-		Runtime:  rt,
+		Name:            opts.Name,
+		Registry:        reg,
+		TCP:             tcp,
+		Breaker:         breaker,
+		Tracer:          tracer,
+		Profiler:        profiler,
+		Runtime:         rt,
+		Coordinator:     coord,
+		Sweeper:         sweeper,
+		store:           opts.Store,
+		bootstrapCancel: bootstrapCancel,
 	}, nil
+}
+
+// Drain is the graceful storage shutdown, run after Runtime.Shutdown has
+// deactivated (and flushed) every actor: stop the anti-entropy sweeper,
+// replay and sync the hint queue so no hinted write is stranded in
+// memory, and put a final WAL sync barrier on the store — every
+// acknowledged write is on disk before the process exits.
+func (n *Node) Drain(ctx context.Context) error {
+	if n.bootstrapCancel != nil {
+		n.bootstrapCancel()
+	}
+	if n.Sweeper != nil {
+		n.Sweeper.Stop()
+	}
+	var firstErr error
+	if n.Coordinator != nil {
+		if err := n.Coordinator.Close(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	if n.store != nil {
+		if err := n.store.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Introspection assembles the node's observability endpoint, wiring in
@@ -153,6 +299,16 @@ func (n *Node) Introspection(pprof bool) *telemetry.Introspection {
 		in.Breakers = n.Breaker.States
 	}
 	return in
+}
+
+// memberOf reports whether name is one of the comma-separated silos.
+func memberOf(name, silos string) bool {
+	for _, s := range strings.Split(silos, ",") {
+		if strings.TrimSpace(s) == name {
+			return true
+		}
+	}
+	return false
 }
 
 // SplitPairs parses "name=addr,name=addr" peer lists, skipping empty and

@@ -335,6 +335,16 @@ func (l *Log) InjectWriteFault(fn func(*os.File, []byte) (int, error)) {
 	l.mu.Unlock()
 }
 
+// InjectSyncFault installs fn as the segment-fsync implementation (nil
+// restores the real fsync). It is how the faults package models stalled
+// or failing disks: a fn that sleeps produces a DiskStall, a fn that
+// errors produces a sync failure. Not for production use.
+func (l *Log) InjectSyncFault(fn func(*os.File) error) {
+	l.mu.Lock()
+	l.syncFile = fn
+	l.mu.Unlock()
+}
+
 // appendRecord frames payload and appends it to buf.
 func appendRecord(buf, payload []byte) []byte {
 	var hdr [headerSize]byte
