@@ -13,6 +13,7 @@
 //	shmbench -ablation placement # random vs prefer-local vs consistent-hash
 //	shmbench -ablation durability
 //	shmbench -ablation replication  # N/R/W quorum latency vs losses under disk wipes
+//	shmbench -ablation elastic   # grow 2->8 silos live, audit zero lost acked writes
 //	shmbench -transport          # wire-path microbench: batch vs nobatch x 1/8/64 callers
 //
 // Each data point runs -duration (default 8s) with the first -warmup
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 6, 7, 8, 9, or all")
-	ablation := flag.String("ablation", "", "ablation to run: placement, durability, ingest, or replication (N/R/W quorum tradeoff)")
+	ablation := flag.String("ablation", "", "ablation to run: placement, durability, ingest, replication (N/R/W quorum tradeoff), or elastic (live 2->8 scale-out)")
 	duration := flag.Duration("duration", 8*time.Second, "measurement duration per data point")
 	warmup := flag.Duration("warmup", 0, "warmup to discard (default duration/4)")
 	scale := flag.Int("scale", 1, "scale-model factor (population /N, per-turn cost xN)")
@@ -154,6 +155,20 @@ func run(ctx context.Context, fig, ablation string, transportBench, hot bool, ho
 			return err
 		}
 		bench.PrintQuorum(out, rows)
+	case "elastic":
+		// The sf8 demo shape: 2,100 sensors per final silo, scaled like
+		// the figures, growing 2 -> 8 under the ledger audit load.
+		res, err := bench.RunElastic(ctx, bench.ElasticConfig{
+			Sensors:   2100 * 8 / opts.Scale,
+			JoinEvery: opts.Duration / 4,
+		})
+		if err != nil {
+			return err
+		}
+		bench.PrintElastic(out, res)
+		if err := res.Failed(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown ablation %q", ablation)
 	}

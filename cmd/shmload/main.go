@@ -32,6 +32,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 1, "sample every Nth request when tracing")
 	stripes := flag.Int("stripes", 0, "gob connection stripes per silo (0 = min(4, GOMAXPROCS))")
 	noBatching := flag.Bool("no-batching", false, "disable transport write coalescing (measured baseline)")
+	gossipOn := flag.Bool("gossip", false, "follow the cluster's gossip membership as an observer: placement tracks silos joining and leaving mid-run")
+	seeds := flag.String("seeds", "", "comma-separated name=addr seed silos to probe for the initial view (with -gossip)")
 	replicas := flag.Int("replicas", 0, "cluster's -replicas setting (accepted for a shared flag set; state replication happens on the silos)")
 	readQuorum := flag.Int("read-quorum", 0, "cluster's -read-quorum setting (accepted for a shared flag set)")
 	writeQuorum := flag.Int("write-quorum", 0, "cluster's -write-quorum setting (accepted for a shared flag set)")
@@ -43,6 +45,8 @@ func main() {
 		Silos:         *silos,
 		Peers:         *peers,
 		TCP:           transport.TCPOptions{Stripes: *stripes, NoBatching: *noBatching},
+		Gossip:        *gossipOn,
+		Seeds:         *seeds,
 		Replicas:      *replicas,
 		ReadQuorum:    *readQuorum,
 		WriteQuorum:   *writeQuorum,
@@ -68,11 +72,22 @@ func run(opts siloboot.Options, sensors int, duration, warmup time.Duration, que
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		rt.Shutdown(ctx)
+		node.Drain(ctx)
 	}()
 	// The client registers the same kinds so the runtime can route them.
 	platform, err := shm.NewPlatform(rt, shm.Options{})
 	if err != nil {
 		return err
+	}
+	// With -gossip this starts the observer agent: the client's placement
+	// view then follows the live membership, so requests spread onto
+	// silos that join mid-run (a no-op otherwise — the client is never a
+	// member, so there is nothing to announce).
+	if err := node.JoinCluster(); err != nil {
+		return err
+	}
+	if node.Gossip != nil {
+		fmt.Printf("shmload: following gossip membership (view: %v)\n", node.Gossip.View())
 	}
 
 	ctx := context.Background()

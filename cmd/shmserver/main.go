@@ -4,6 +4,17 @@
 // and consistent-hash placement, so every process independently agrees on
 // where each actor lives without a shared directory service.
 //
+// With -gossip the static view becomes a live one: silos run a SWIM
+// membership agent over the same TCP transport (probe, indirect
+// ping-req, suspect→dead with incarnation refutation), so a new silo
+// can join a running cluster with -seeds and a dead one is detected and
+// evicted without any restart. Placement, the replication ring, and the
+// directory all track the gossiped view; adding -rebalance makes each
+// silo live-migrate its activations whose consistent-hash home moved —
+// drain with a state flush, redirect markers, version fences — so the
+// cluster spreads load onto a joiner within seconds (see
+// scripts/scale_smoke.sh for the elastic-growth demo).
+//
 // A two-silo cluster on one machine:
 //
 //	shmserver -name silo-1 -listen 127.0.0.1:7001 \
@@ -79,6 +90,10 @@ func main() {
 	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:7001", "TCP listen address")
 	flag.StringVar(&cfg.silos, "silos", "silo-1", "comma-separated names of ALL silos (identical on every node)")
 	flag.StringVar(&cfg.peers, "peers", "", "comma-separated name=addr pairs for the other silos")
+	flag.BoolVar(&cfg.gossip, "gossip", false, "SWIM gossip membership: the live view replaces the static -silos list, so silos can join and leave at runtime")
+	flag.StringVar(&cfg.seeds, "seeds", "", "comma-separated name=addr seed silos probed at startup to join a running cluster (with -gossip)")
+	flag.BoolVar(&cfg.rebalance, "rebalance", false, "live-migrate actors whose placement moved after a membership change (and shed hot actors with -profile)")
+	flag.DurationVar(&cfg.rebalanceEvery, "rebalance-every", 10*time.Second, "background rebalance planning period with -rebalance")
 	flag.StringVar(&cfg.storeDir, "store", "", "durability directory (empty = in-memory)")
 	flag.BoolVar(&cfg.durable, "durable", false, "with -store, fsync every actor-state write via WAL group commit (ack => on disk)")
 	flag.IntVar(&cfg.replicas, "replicas", 0, "replicate actor state across N silos with quorum reads/writes (0/1 = off; needs -store)")
@@ -110,6 +125,10 @@ func main() {
 type serverConfig struct {
 	name, listen, silos, peers, storeDir string
 	introspect                           string
+	gossip                               bool
+	seeds                                string
+	rebalance                            bool
+	rebalanceEvery                       time.Duration
 	durable                              bool
 	replicas                             int
 	readQuorum, writeQuorum              int
@@ -160,18 +179,22 @@ func run(ctx context.Context, cfg serverConfig) error {
 		},
 		// Circuit breakers between silos: a dead peer fails fast instead
 		// of stalling every call during its dial timeout.
-		Breaker:     true,
-		Store:       store,
-		Replicas:    cfg.replicas,
-		ReadQuorum:  cfg.readQuorum,
-		WriteQuorum: cfg.writeQuorum,
-		HintDir:     hintDir,
-		SweepEvery:  cfg.sweepEvery,
-		Trace:       cfg.trace,
-		TraceSample: cfg.traceSample,
-		SlowTurn:    cfg.slowTurn,
-		Profile:     cfg.profile,
-		ProfileK:    cfg.profileK,
+		Breaker:        true,
+		Gossip:         cfg.gossip,
+		Seeds:          cfg.seeds,
+		Rebalance:      cfg.rebalance,
+		RebalanceEvery: cfg.rebalanceEvery,
+		Store:          store,
+		Replicas:       cfg.replicas,
+		ReadQuorum:     cfg.readQuorum,
+		WriteQuorum:    cfg.writeQuorum,
+		HintDir:        hintDir,
+		SweepEvery:     cfg.sweepEvery,
+		Trace:          cfg.trace,
+		TraceSample:    cfg.traceSample,
+		SlowTurn:       cfg.slowTurn,
+		Profile:        cfg.profile,
+		ProfileK:       cfg.profileK,
 	})
 	if err != nil {
 		return err
@@ -187,7 +210,15 @@ func run(ctx context.Context, cfg serverConfig) error {
 	if _, err := rt.AddSilo(cfg.name, nil); err != nil {
 		return err
 	}
+	// Join after the silo can serve: kinds registered, AddSilo done. The
+	// gossip announcement is what makes peers start routing actors here.
+	if err := node.JoinCluster(); err != nil {
+		return err
+	}
 	fmt.Printf("shmserver: silo %s listening on %s (cluster: %s)\n", cfg.name, node.TCP.Addr(), cfg.silos)
+	if node.Gossip != nil {
+		fmt.Printf("shmserver: gossip membership on (seeds: %q, rebalance: %v)\n", cfg.seeds, cfg.rebalance)
+	}
 	if node.Coordinator != nil {
 		r, w := node.Coordinator.Quorums()
 		fmt.Printf("shmserver: replicating actor state %d-way (R=%d, W=%d, sweep every %v)\n",

@@ -173,6 +173,36 @@ func render(snap obs.ClusterSnapshot, k int) string {
 	}
 	tw.Flush()
 
+	// Gossip membership: per-silo view of the SWIM state machine plus
+	// live-migration counters. Gauges here must come from the per-silo
+	// snapshots — the cluster aggregate SUMS gauges, and every member
+	// reports the whole view, so the summed alive count is meaningless.
+	if gossiping(snap) {
+		b.WriteString("\nMEMBERSHIP (SWIM gossip)\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "SILO\tALIVE\tSUSPECT\tDEAD\tINCARN\tLASTCHANGE\tMIG OUT/IN\tFORCED\tFENCED")
+		for _, s := range snap.Silos {
+			if s.Snapshot == nil || s.Snapshot.Gauges == nil {
+				continue
+			}
+			g, c := s.Snapshot.Gauges, s.Snapshot.Counters
+			if _, ok := g["gossip.members.alive"]; !ok {
+				continue
+			}
+			lastChange := "-"
+			if ts := g["gossip.last_change_unix"]; ts > 0 {
+				lastChange = fmt.Sprintf("%.0fs", snap.Now.Sub(time.Unix(ts, 0)).Seconds())
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%s\t%d/%d\t%d\t%d\n",
+				s.Name,
+				g["gossip.members.alive"], g["gossip.members.suspect"], g["gossip.members.dead"],
+				g["gossip.incarnation"], lastChange,
+				c["core.migrations.out"], c["core.migrations.in"],
+				c["core.migrations.forced"], c["core.stale_writes_fenced"])
+		}
+		tw.Flush()
+	}
+
 	// Replica health: summed replication counters across the cluster
 	// (hints pending is a gauge — nonzero means some home is still owed
 	// writes; divergent keys count anti-entropy repairs). Shown only when
@@ -253,6 +283,18 @@ func render(snap obs.ClusterSnapshot, k int) string {
 		tw.Flush()
 	}
 	return b.String()
+}
+
+// gossiping reports whether any silo exported gossip membership gauges.
+func gossiping(snap obs.ClusterSnapshot) bool {
+	for _, s := range snap.Silos {
+		if s.Snapshot != nil && s.Snapshot.Gauges != nil {
+			if _, ok := s.Snapshot.Gauges["gossip.members.alive"]; ok {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // replicating reports whether any silo exported replication metrics.

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestElasticGrowth is the in-process slice of the scale-out demo: a
+// two-silo gossip cluster grows to four under sustained acked writes,
+// and the audit proves none were lost to the live migrations.
+func TestElasticGrowth(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("elastic growth run in -short mode")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := RunElastic(ctx, ElasticConfig{
+		StartSilos: 2,
+		EndSilos:   4,
+		Ledgers:    16,
+		Clients:    4,
+		JoinEvery:  1500 * time.Millisecond,
+		Settle:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if err := res.Failed(); err != nil {
+		t.Fatal(err)
+	}
+	if res.AckedWrites == 0 {
+		t.Fatal("no writes were acknowledged during the growth window")
+	}
+	if len(res.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(res.Joins))
+	}
+	if got := len(res.Phases); got != 3 {
+		t.Fatalf("phases = %d, want 3", got)
+	}
+	if res.MigrationsIn == 0 && res.MovesDone == 0 {
+		t.Error("growth completed without any live migrations — rebalancer never moved actors onto the joiners")
+	}
+	t.Logf("acked %d, retried %d, joins %v, migrations in %d, moves %d",
+		res.AckedWrites, res.RetriedOps, res.Joins, res.MigrationsIn, res.MovesDone)
+}

@@ -194,3 +194,35 @@ func PrintConstraints(w io.Writer, results []ConstraintResult) {
 	}
 	tw.Flush()
 }
+
+// PrintElastic renders the elastic scale-out run: per-phase throughput
+// as the cluster grows, per-join convergence, and the audit verdict.
+func PrintElastic(w io.Writer, r ElasticResult) {
+	fmt.Fprintln(w, "Ablation H — elastic scale-out (gossip join + live rebalancing under sustained acked writes)")
+	tw := newTable(w)
+	fmt.Fprintln(tw, "phase\tsilos\tacked writes\trate/s\twindow")
+	for i, p := range r.Phases {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.0f\t%s\n", i+1, p.Silos, p.Acked, p.Rate, p.Duration.Round(time.Millisecond))
+	}
+	tw.Flush()
+	if len(r.Joins) > 0 {
+		tw = newTable(w)
+		fmt.Fprintln(tw, "join\tview converged")
+		for _, j := range r.Joins {
+			fmt.Fprintf(tw, "%s\t%s\n", j.Silo, j.Converged.Round(time.Millisecond))
+		}
+		tw.Flush()
+	}
+	fmt.Fprintf(w, "acked %d, lost %d, retried ops %d, unclassified %d (audit %s)\n",
+		r.AckedWrites, len(r.LostWrites), r.RetriedOps, len(r.Unclassified), r.VerifyElapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "migrations out/in/forced %d/%d/%d, moves done/failed %d/%d, stale writes fenced %d\n",
+		r.MigrationsOut, r.MigrationsIn, r.MigrationsForced, r.MovesDone, r.MovesFailed, r.FencedWrites)
+	if r.SHMOk > 0 || r.SHMErrors > 0 {
+		fmt.Fprintf(w, "SHM background load: %d ok, %d errors\n", r.SHMOk, r.SHMErrors)
+	}
+	if len(r.LostWrites) == 0 && len(r.Unclassified) == 0 {
+		fmt.Fprintln(w, "PASS: zero acked writes lost across the growth")
+	} else {
+		fmt.Fprintln(w, "FAIL: invariant violated — see lost/unclassified above")
+	}
+}

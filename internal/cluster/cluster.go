@@ -228,10 +228,25 @@ func NewStaticView(silos ...string) *StaticView {
 // View returns the fixed silo set.
 func (s *StaticView) View() []string { return append([]string(nil), s.silos...) }
 
+// Subscribe is a no-op: a static view never changes, so no events fire.
+// It exists so StaticView satisfies Provider and boot code can wire a
+// static or gossip-fed view through the identical subscription path.
+func (s *StaticView) Subscribe(func(Event)) {}
+
 // Viewer supplies an active silo set; Membership and StaticView both
 // satisfy it, as does core's runtime-internal list.
 type Viewer interface {
 	View() []string
+}
+
+// Provider is the full membership surface consumers wire against: a live
+// silo view plus change notifications. The heartbeat Membership, the
+// gossip agent, StaticView (events never fire), and FilteredView (events
+// delegate to the base) all satisfy it, so call sites select a provider
+// once at boot and never branch again.
+type Provider interface {
+	Viewer
+	Subscribe(fn func(Event))
 }
 
 // FilteredView layers a health veto over another view provider: silos the
@@ -269,4 +284,14 @@ func (f *FilteredView) View() []string {
 		return all
 	}
 	return kept
+}
+
+// Subscribe delegates to the base provider when it has one; a filtered
+// view over a plain Viewer simply never fires events. The veto itself is
+// a read-time filter, not a membership change, so it produces no events
+// of its own.
+func (f *FilteredView) Subscribe(fn func(Event)) {
+	if p, ok := f.base.(Provider); ok {
+		p.Subscribe(fn)
+	}
 }

@@ -58,6 +58,11 @@ type Frame struct {
 	TraceSampled bool
 	Payload      any
 	Err          string // set when Kind == FrameError
+	// Redirect carries a wrong-silo redirect across the wire: the target
+	// silo the caller should re-route to. Typed errors do not survive gob
+	// (errors collapse to Err strings), so the redirect travels as its
+	// own field and is rebuilt as a transport.RedirectError client-side.
+	Redirect string
 }
 
 // Stream frames gob values over an io.ReadWriter. Writes are serialized;

@@ -29,6 +29,10 @@ type activation struct {
 
 	lastBusy atomic.Int64 // unix nanos of last non-timer turn
 	crashed  atomic.Bool  // silo crash: skip all teardown persistence
+	// fenced marks an activation cut off by a forced migration hand-off:
+	// ownership has already moved, so any state write it still attempts
+	// must fail as stale rather than clobber the successor's writes.
+	fenced atomic.Bool
 
 	// stateVersion is the kvstore version the activation's state was
 	// loaded at; writes are fenced with PutIf so a zombie activation (one
@@ -321,6 +325,16 @@ func (a *activation) writeState(ctx context.Context) error {
 	}
 	if a.silo.rt.states == nil {
 		return nil // no store configured: treat as volatile
+	}
+	if a.fenced.Load() {
+		// A forced migration already moved ownership; this zombie's write
+		// must not land. (With a replicated state store the version fence
+		// would also catch it — the successor's load bumps the epoch — but
+		// a plain table load does not, so the local fence closes that
+		// window.)
+		a.silo.metrics.Counter("core.stale_writes_fenced").Inc()
+		a.box.close() // self-deactivate; successor owns the state now
+		return fmt.Errorf("%w: %s migrated away mid-write", ErrStaleActivation, a.id)
 	}
 	data, err := json.Marshal(st.State())
 	if err != nil {

@@ -68,14 +68,29 @@ func (e *wrongSiloError) Error() string {
 // Is marks the wrong-silo race as transient for errors.Is.
 func (e *wrongSiloError) Is(target error) bool { return target == ErrTransient }
 
+// RedirectTarget names the silo holding the activation, matching
+// transport.RedirectError so routing treats local and remote wrong-silo
+// answers identically.
+func (e *wrongSiloError) RedirectTarget() string { return e.Winner }
+
 // IsWrongSilo reports whether err is the wrong-silo activation race: the
-// addressed silo lost (or never entered) the race and the directory
-// points at the winner. Callers normally never see it — the runtime
-// re-routes internally — but it can surface in the failure chain after
-// retries are exhausted.
+// addressed silo lost (or never entered) the race — or the actor was
+// migrated away — and the answer names the winner. It matches both the
+// in-process error and its wire form (transport.RedirectError). Callers
+// normally never see it — the runtime re-routes internally — but it can
+// surface in the failure chain after retries are exhausted.
 func IsWrongSilo(err error) bool {
-	var w *wrongSiloError
-	return errors.As(err, &w)
+	return redirectTarget(err) != ""
+}
+
+// redirectTarget extracts the re-route target from a wrong-silo answer
+// (local or wire form), or "".
+func redirectTarget(err error) string {
+	var r interface{ RedirectTarget() string }
+	if errors.As(err, &r) {
+		return r.RedirectTarget()
+	}
+	return ""
 }
 
 // Transient reports whether err is safe to retry. The taxonomy:

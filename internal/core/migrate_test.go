@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aodb/internal/kvstore"
+)
+
+// TestMigrateMovesStatefulActor: the basic hand-off — drain at the
+// source with a state flush, re-activate at the target, state intact.
+func TestMigrateMovesStatefulActor(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	rt := newTestRuntime(t, Config{Store: kv})
+	registerCounter(t, rt, WithPersistence(PersistOnDeactivate))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Counter", "mover"}
+	if _, err := rt.Call(ctx, id, addMsg{N: 41}); err != nil {
+		t.Fatal(err)
+	}
+	reg, ok := rt.Directory().Lookup(id.String())
+	if !ok {
+		t.Fatal("no registration after call")
+	}
+	src := reg.Silo
+	dst := "silo-1"
+	if src == dst {
+		dst = "silo-2"
+	}
+
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	reg, ok = rt.Directory().Lookup(id.String())
+	if !ok || reg.Silo != dst {
+		t.Fatalf("registration after migrate = %+v, want %s", reg, dst)
+	}
+	v, err := rt.Call(ctx, id, addMsg{N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("state after migrate = %v, want 42", v)
+	}
+	srcSilo, _ := rt.Silo(src)
+	if n := srcSilo.Activations(); n != 0 {
+		t.Fatalf("source still hosts %d activations", n)
+	}
+	counts := rt.Metrics().Counters()
+	if counts["core.migrations.out"] != 1 || counts["core.migrations.in"] != 1 {
+		t.Fatalf("migration counters = out:%d in:%d, want 1/1",
+			counts["core.migrations.out"], counts["core.migrations.in"])
+	}
+
+	// Migrating an idle (never-activated) actor just activates it there.
+	ghost := ID{"Counter", "ghost"}
+	if err := rt.Migrate(ctx, ghost, dst); err != nil {
+		t.Fatal(err)
+	}
+	if reg, ok := rt.Directory().Lookup(ghost.String()); !ok || reg.Silo != dst {
+		t.Fatalf("ghost registration = %+v, want %s", reg, dst)
+	}
+	// Migrating to the current home is a no-op.
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCallsDuringMigrationNotLostNotDoubled hammers an actor with
+// concurrent increments while it migrates. Every acked increment must
+// land exactly once: queued turns run at the source before its final
+// flush, late arrivals are redirected to the target, and the target
+// loads the flushed state — so the final count equals the acks.
+func TestCallsDuringMigrationNotLostNotDoubled(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	rt := newTestRuntime(t, Config{Store: kv})
+	registerCounter(t, rt, WithPersistence(PersistOnDeactivate))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Counter", "busy"}
+	if _, err := rt.Call(ctx, id, getMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := rt.Directory().Lookup(id.String())
+	dst := "silo-1"
+	if reg.Silo == dst {
+		dst = "silo-2"
+	}
+
+	const callers = 8
+	const perCaller = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*perCaller)
+	start := make(chan struct{})
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < perCaller; j++ {
+				if _, err := rt.Call(ctx, id, addMsg{N: 1}); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	close(start)
+	// Migrate mid-hammer (twice, there and back, for good measure).
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if err := rt.Migrate(ctx, id, reg.Silo); err != nil {
+		t.Fatalf("Migrate back: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent call failed during migration: %v", err)
+	}
+	v, err := rt.Call(ctx, id, getMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != callers*perCaller {
+		t.Fatalf("count after migration = %v, want %d (lost or doubled turns)", v, callers*perCaller)
+	}
+}
+
+// fenceActor blocks mid-turn on command, then mutates and explicitly
+// persists — the shape that exposes zombie writers under forced
+// hand-off.
+type fenceActor struct {
+	state   counterState
+	entered chan struct{}
+	release chan struct{}
+}
+
+type blockThenAddMsg struct{ N int }
+
+func (f *fenceActor) State() any { return &f.state }
+
+func (f *fenceActor) Receive(ctx *Context, msg any) (any, error) {
+	switch m := msg.(type) {
+	case addMsg:
+		f.state.N += m.N
+		return f.state.N, ctx.WriteState()
+	case getMsg:
+		return f.state.N, nil
+	case blockThenAddMsg:
+		f.entered <- struct{}{}
+		<-f.release
+		f.state.N += m.N
+		return f.state.N, ctx.WriteState()
+	}
+	return nil, fmt.Errorf("unknown message %T", msg)
+}
+
+// TestForcedMigrationFencesZombieWrite: an activation stuck in a turn
+// past the drain budget is fenced; when its turn finally completes, its
+// state write fails stale instead of clobbering the successor that
+// already activated at the target.
+func TestForcedMigrationFencesZombieWrite(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	// Retries disabled so the zombie's caller sees the fence directly
+	// (with retries on, the call would transparently re-run at the
+	// target — correct, but it would hide what this test asserts).
+	rt := newTestRuntime(t, Config{Store: kv, Retry: RetryPolicy{Disabled: true}})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	if err := rt.RegisterKind("Fence", func() Actor {
+		return &fenceActor{entered: entered, release: release}
+	}, WithPersistence(PersistExplicit)); err != nil {
+		t.Fatal(err)
+	}
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Fence", "stuck"}
+	if _, err := rt.Call(ctx, id, addMsg{N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := rt.Directory().Lookup(id.String())
+	src := reg.Silo
+	dst := "silo-1"
+	if src == dst {
+		dst = "silo-2"
+	}
+
+	callErr := make(chan error, 1)
+	go func() {
+		_, err := rt.Call(ctx, id, blockThenAddMsg{N: 100})
+		callErr <- err
+	}()
+	<-entered // the turn is now wedged mid-execution
+
+	mctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+	defer cancel()
+	if err := rt.Migrate(mctx, id, dst); err != nil {
+		t.Fatalf("forced Migrate: %v", err)
+	}
+	if got := rt.Metrics().Counters()["core.migrations.forced"]; got != 1 {
+		t.Fatalf("core.migrations.forced = %d, want 1", got)
+	}
+	// The successor is live at the target with the last flushed state.
+	v, err := rt.Call(ctx, id, getMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 5 {
+		t.Fatalf("successor state = %v, want 5", v)
+	}
+
+	// Unwedge the zombie: its mutation + write must be fenced off.
+	close(release)
+	if err := <-callErr; !errors.Is(err, ErrStaleActivation) {
+		t.Fatalf("zombie caller error = %v, want ErrStaleActivation", err)
+	}
+	if got := rt.Metrics().Counters()["core.stale_writes_fenced"]; got == 0 {
+		t.Fatal("no stale write was fenced")
+	}
+	v, err = rt.Call(ctx, id, getMsg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 5 {
+		t.Fatalf("state after zombie write attempt = %v, want 5 (zombie clobbered it)", v)
+	}
+}
+
+// TestMovedMarkerRedirects: after a hand-off, calls landing on the old
+// silo are answered with a redirect to the new home rather than
+// re-activating locally — even when the directory has no entry (the
+// TCP-mode situation, simulated here by evicting it).
+func TestMovedMarkerRedirects(t *testing.T) {
+	rt := newTestRuntime(t, Config{})
+	registerCounter(t, rt)
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Counter", "marked"}
+	if _, err := rt.Call(ctx, id, addMsg{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := rt.Directory().Lookup(id.String())
+	src := reg.Silo
+	dst := "silo-1"
+	if src == dst {
+		dst = "silo-2"
+	}
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a process-local directory that never heard of the actor:
+	// the moved marker alone must still bounce the call to the target.
+	if reg, ok := rt.Directory().Lookup(id.String()); ok {
+		rt.Directory().Unregister(reg)
+	}
+	srcSilo, _ := rt.Silo(src)
+	_, err := srcSilo.resolve(ctx, id)
+	if !IsWrongSilo(err) {
+		t.Fatalf("resolve on old silo = %v, want wrong-silo redirect", err)
+	}
+	if got := redirectTarget(err); got != dst {
+		t.Fatalf("redirect target = %q, want %q", got, dst)
+	}
+	// And the full call path follows the redirect: the actor keeps
+	// running at dst, and src does not resurrect it.
+	if _, err := rt.Call(ctx, id, getMsg{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := srcSilo.Activations(); n != 0 {
+		t.Fatalf("old silo resurrected the actor (%d activations)", n)
+	}
+	dstSilo, _ := rt.Silo(dst)
+	if n := dstSilo.Activations(); n != 1 {
+		t.Fatalf("target hosts %d activations, want 1", n)
+	}
+}

@@ -216,6 +216,11 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.States != nil {
 		rt.states = cfg.States
 	}
+	// Live actor hand-off (Runtime.Migrate) is a built-in service: silos
+	// answer drain/activate RPCs on the reserved "!migrate" kind.
+	if err := rt.RegisterService(MigrateKind, rt.handleMigrate); err != nil {
+		return nil, err
+	}
 	return rt, nil
 }
 
@@ -508,8 +513,10 @@ func (rt *Runtime) callLoop(ctx context.Context, callerSilo string, chain []stri
 	// happy path allocates no timer and pays nothing for the budget.
 	var retryDeadline time.Time
 	var lastErr error
+	redirect := ""
 	for attempt := 1; ; {
-		resp, err := rt.routeOnce(ctx, callerSilo, chain, id, msg, strat, method, trace)
+		resp, err := rt.routeOnce(ctx, callerSilo, chain, id, msg, strat, method, trace, redirect)
+		redirect = ""
 		if err == nil {
 			return resp, retries, hops, nil
 		}
@@ -519,6 +526,11 @@ func (rt *Runtime) callLoop(ctx context.Context, callerSilo string, chain []stri
 			if hops >= maxHops {
 				return nil, retries, hops, fmt.Errorf("core: %s unroutable after %d hops: %w", id, hops, lastErr)
 			}
+			// Route the next hop straight at the named winner: after a
+			// migration the local directory may know nothing about the
+			// actor's new home, and deterministic placement would keep
+			// re-addressing the silo that just refused.
+			redirect = redirectTarget(err)
 			continue
 		}
 		if !Transient(err) {
@@ -565,11 +577,15 @@ func (rt *Runtime) callLoop(ctx context.Context, callerSilo string, chain []stri
 // out to be unreachable, the stale registration is evicted so the next
 // attempt re-places the actor on a live silo — the heart of routing
 // around a crashed silo.
-func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string, trace telemetry.SpanContext) (any, error) {
+func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []string, id ID, msg any, strat placement.Strategy, method string, trace telemetry.SpanContext, redirect string) (any, error) {
 	var target string
 	var reg directory.Registration
 	fromDirectory := false
-	if r, ok := rt.directory.Lookup(id.String()); ok {
+	if redirect != "" {
+		// The previous hop named the actor's current home; trust it over
+		// the directory (which may hold the stale pre-migration route).
+		target = redirect
+	} else if r, ok := rt.directory.Lookup(id.String()); ok {
 		target, reg, fromDirectory = r.Silo, r, true
 	} else {
 		view := rt.view()

@@ -28,6 +28,12 @@ type Silo struct {
 	mu      sync.Mutex
 	catalog map[ID]*activation
 	closing bool
+	// moved records actors handed off to another silo: calls landing here
+	// are redirected instead of re-activating locally. Entries expire
+	// (pruned by the collector) once cluster views have converged on the
+	// new placement. This is what keeps a TCP-mode silo — whose directory
+	// is process-local — from resurrecting an actor it just migrated out.
+	moved map[ID]movedEntry
 
 	collectorStop chan struct{}
 	collectorDone chan struct{}
@@ -138,6 +144,13 @@ func (s *Silo) resolve(ctx context.Context, id ID) (*activation, error) {
 			s.mu.Unlock()
 			return act, nil
 		}
+		if me, ok := s.moved[id]; ok {
+			if s.rt.clk.Now().Before(me.until) {
+				s.mu.Unlock()
+				return nil, &wrongSiloError{Actor: id.String(), Winner: me.target}
+			}
+			delete(s.moved, id)
+		}
 		s.mu.Unlock()
 
 		reg, err := s.rt.directory.Register(id.String(), s.name)
@@ -207,6 +220,11 @@ func (s *Silo) collector(every time.Duration) {
 func (s *Silo) collectIdle() {
 	now := s.rt.clk.Now()
 	s.mu.Lock()
+	for id, me := range s.moved {
+		if now.After(me.until) {
+			delete(s.moved, id)
+		}
+	}
 	candidates := make([]*activation, 0)
 	for _, act := range s.catalog {
 		idleAfter := act.cfg.idleAfter

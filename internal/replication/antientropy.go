@@ -135,7 +135,22 @@ func (c *Coordinator) SweepPair(ctx context.Context, a, b string, buckets int) (
 // sweep only pays for genuinely lost updates.
 func (c *Coordinator) SweepOnce(ctx context.Context, only string, buckets int) (divergent int, err error) {
 	c.ReplayHints(ctx)
-	members := c.cfg.Ring.Members()
+	// During a ring transition, sweep over the union membership: the
+	// old→new backfill of moved replicas rides these very pairs.
+	cur, old := c.rings()
+	members := cur.Members()
+	if old != nil {
+		seen := make(map[string]bool, len(members))
+		for _, m := range members {
+			seen[m] = true
+		}
+		for _, m := range old.Members() {
+			if !seen[m] {
+				members = append(members, m)
+			}
+		}
+		sort.Strings(members)
+	}
 	var firstErr error
 	for i := 0; i < len(members); i++ {
 		for j := i + 1; j < len(members); j++ {

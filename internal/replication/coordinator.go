@@ -22,15 +22,24 @@ type Caller interface {
 
 // Config configures a quorum Coordinator.
 type Config struct {
-	// Ring maps keys to home replica sets. Required.
+	// Ring is the initial key→replica-set mapping. Required. UpdateRing
+	// swaps it live when membership changes.
 	Ring *Ring
-	// N, R, W are the replication factor and the read/write quorum
-	// sizes. Defaults: N=1 (clamped to the ring size), R and W to
-	// majorities of N. The classic R+W > N intersection guarantee — and
-	// the W > N/2 zombie fence — hold only for those majority settings;
-	// smaller quorums trade them away for latency, which is exactly the
-	// ablation the benchmark measures.
+	// N, R, W are the desired replication factor and the read/write
+	// quorum sizes. Defaults: N=1, R and W to majorities of N. All three
+	// are clamped per operation to the current ring's size, so a cluster
+	// seeded below N grows into its full replication factor as silos
+	// join. The classic R+W > N intersection guarantee — and the W > N/2
+	// zombie fence — hold only for the majority settings; smaller
+	// quorums trade them away for latency, which is exactly the ablation
+	// the benchmark measures.
 	N, R, W int
+	// RingTransition is how long the previous ring keeps its quorum veto
+	// after an UpdateRing: during the window, writes must clear the
+	// write quorum on both the old and new home sets, and reads consult
+	// both (default one minute; SettleRing ends it early once
+	// anti-entropy has backfilled the moved replicas).
+	RingTransition time.Duration
 	// Transport reaches remote replica stores; requests carry TargetKind
 	// and are served by a Service on the peer. Required unless every
 	// ring member is wired through Local below.
@@ -95,6 +104,9 @@ type Coordinator struct {
 
 	mu       sync.Mutex
 	suspects map[string]*suspect
+	ring     *Ring     // current ring
+	oldRing  *Ring     // previous ring, nil outside a transition window
+	oldUntil time.Time // when the old ring's quorum veto lapses
 
 	mReadRepair *metrics.Counter
 	mReplayed   *metrics.Counter
@@ -122,20 +134,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.N <= 0 {
 		cfg.N = 1
 	}
-	if cfg.N > cfg.Ring.Size() {
-		cfg.N = cfg.Ring.Size()
-	}
-	if cfg.R <= 0 {
-		cfg.R = cfg.N/2 + 1
-	}
-	if cfg.W <= 0 {
-		cfg.W = cfg.N/2 + 1
-	}
-	if cfg.R > cfg.N {
-		cfg.R = cfg.N
-	}
-	if cfg.W > cfg.N {
-		cfg.W = cfg.N
+	if cfg.RingTransition <= 0 {
+		cfg.RingTransition = DefaultRingTransition
 	}
 	if cfg.TombstoneTTL <= 0 {
 		cfg.TombstoneTTL = time.Hour
@@ -158,6 +158,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{
 		cfg:         cfg,
+		ring:        cfg.Ring,
 		suspects:    make(map[string]*suspect),
 		mReadRepair: cfg.Metrics.Counter("replication.readrepair.count"),
 		mReplayed:   cfg.Metrics.Counter("replication.hints.replayed"),
@@ -174,11 +175,97 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	return c, nil
 }
 
-// N returns the effective replication factor.
-func (c *Coordinator) N() int { return c.cfg.N }
+// DefaultRingTransition is how long a superseded ring stays in the
+// quorum path after an UpdateRing — long enough for one anti-entropy
+// sweep to backfill the moved replicas under the default cadence.
+const DefaultRingTransition = time.Minute
 
-// Quorums returns the effective read and write quorum sizes.
-func (c *Coordinator) Quorums() (r, w int) { return c.cfg.R, c.cfg.W }
+// quorumFor clamps the desired N/R/W to what ring can actually provide.
+func (c *Coordinator) quorumFor(ring *Ring) (n, r, w int) {
+	n = c.cfg.N
+	if n > ring.Size() {
+		n = ring.Size()
+	}
+	r, w = c.cfg.R, c.cfg.W
+	if r <= 0 {
+		r = n/2 + 1
+	}
+	if w <= 0 {
+		w = n/2 + 1
+	}
+	if r > n {
+		r = n
+	}
+	if w > n {
+		w = n
+	}
+	return n, r, w
+}
+
+// rings returns the current ring and, during a transition window, the
+// superseded one (nil otherwise), lazily retiring the latter once its
+// window lapses.
+func (c *Coordinator) rings() (cur, old *Ring) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.oldRing != nil && c.cfg.Clock.Now().After(c.oldUntil) {
+		c.oldRing = nil
+	}
+	return c.ring, c.oldRing
+}
+
+// Ring returns the current ring.
+func (c *Coordinator) Ring() *Ring {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ring
+}
+
+// UpdateRing swaps the replica ring live (a silo joined or left). The
+// superseded ring stays in the quorum path for RingTransition: writes
+// must clear W on both home sets and reads consult both, so R+W > N
+// intersection holds against the union of old and new replica sets
+// while anti-entropy backfills the keys whose homes moved. Back-to-back
+// updates inside one window keep the oldest un-settled ring (quorums
+// only strengthen) and restart the window.
+func (c *Coordinator) UpdateRing(r *Ring) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r.Equal(c.ring) {
+		return
+	}
+	if c.oldRing == nil || c.cfg.Clock.Now().After(c.oldUntil) {
+		c.oldRing = c.ring
+	}
+	c.ring = r
+	c.oldUntil = c.cfg.Clock.Now().Add(c.cfg.RingTransition)
+	c.cfg.Metrics.Counter("replication.ring.changes").Inc()
+	c.cfg.Metrics.Gauge("replication.ring.size").Set(int64(r.Size()))
+}
+
+// SettleRing ends the transition window immediately — the caller knows
+// anti-entropy has already backfilled the moved replicas.
+func (c *Coordinator) SettleRing() {
+	c.mu.Lock()
+	c.oldRing = nil
+	c.mu.Unlock()
+}
+
+// N returns the effective replication factor on the current ring.
+func (c *Coordinator) N() int {
+	n, _, _ := c.quorumFor(c.Ring())
+	return n
+}
+
+// Quorums returns the effective read and write quorum sizes on the
+// current ring.
+func (c *Coordinator) Quorums() (r, w int) {
+	_, r, w = c.quorumFor(c.Ring())
+	return r, w
+}
 
 // Hints exposes the hint queue (nil when hinting is disabled).
 func (c *Coordinator) Hints() *HintQueue { return c.hints }
@@ -327,46 +414,90 @@ func (c *Coordinator) fetchFrom(ctx context.Context, silo, key string) (Envelope
 	return env, true, nil
 }
 
+// writeTarget is one distinct replica a quorum operation talks to,
+// tagged with which ring(s)' home set it belongs to — during a ring
+// transition an ack must be credited to every home set the silo is in.
+type writeTarget struct {
+	silo     string
+	cur, old bool
+}
+
+// quorumTargets merges the key's home sets under the current and (when
+// in a transition window) superseded rings into one distinct target
+// list, current-ring homes first.
+func quorumTargets(key string, cur *Ring, nCur int, old *Ring, nOld int) []writeTarget {
+	homes := cur.ReplicaSet(key, nCur)
+	targets := make([]writeTarget, 0, len(homes)+nOld)
+	inCur := make(map[string]int, len(homes))
+	for _, h := range homes {
+		inCur[h] = len(targets)
+		targets = append(targets, writeTarget{silo: h, cur: true})
+	}
+	if old != nil {
+		for _, h := range old.ReplicaSet(key, nOld) {
+			if i, ok := inCur[h]; ok {
+				targets[i].old = true
+			} else {
+				targets = append(targets, writeTarget{silo: h, old: true})
+			}
+		}
+	}
+	return targets
+}
+
 // writeQuorum pushes enc to the key's home set until W replicas hold it,
 // demoting dead or failing homes to stand-ins from the extended
 // preference list and recording a durable hint for each missed home.
-// Fenced outcomes (Stale/Conflict) abort immediately: a newer epoch owns
-// the key.
+// During a ring transition the write must clear W on the superseded
+// ring's home set too — that is what keeps R+W > N intersection valid
+// against the union of old and new replica sets mid-change. Fenced
+// outcomes (Stale/Conflict) abort immediately: a newer epoch owns the
+// key.
 func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope) error {
 	enc := env.Encode()
-	homes := c.cfg.Ring.ReplicaSet(key, c.cfg.N)
-	pref := c.cfg.Ring.Preference(key, c.cfg.N, c.cfg.Ring.Size()-c.cfg.N)
-	standins := pref[len(homes):]
+	cur, old := c.rings()
+	n, _, w := c.quorumFor(cur)
+	wOld := 0
+	nOld := 0
+	if old != nil {
+		nOld, _, wOld = c.quorumFor(old)
+	}
+	targets := quorumTargets(key, cur, n, old, nOld)
+	pref := cur.Preference(key, n, cur.Size()-n)
+	standins := pref[n:]
 	nextStandin := 0
 
-	acked := 0
+	ackCur, ackOld := 0, 0
 	var firstErr error
 	var attemptHints []uint64
 	type res struct {
-		silo string
-		out  Outcome
-		err  error
+		t   writeTarget
+		out Outcome
+		err error
 	}
-	results := make(chan res, len(homes))
-	tried := 0
-	for _, h := range homes {
-		if !c.alive(h) {
+	results := make(chan res, len(targets))
+	for _, t := range targets {
+		if !c.alive(t.silo) {
 			// Known-dead home: skip the timeout, go straight to handoff.
-			results <- res{silo: h, err: &transport.UnreachableError{Node: h, Err: errors.New("replication: vetoed by alive check")}}
+			results <- res{t: t, err: &transport.UnreachableError{Node: t.silo, Err: errors.New("replication: vetoed by alive check")}}
 			continue
 		}
-		tried++
-		go func(silo string) {
-			out, err := c.applyTo(ctx, silo, key, enc)
-			results <- res{silo: silo, out: out, err: err}
-		}(h)
+		go func(t writeTarget) {
+			out, err := c.applyTo(ctx, t.silo, key, enc)
+			results <- res{t: t, out: out, err: err}
+		}(t)
 	}
-	for i := 0; i < len(homes); i++ {
+	for i := 0; i < len(targets); i++ {
 		r := <-results
 		if r.err == nil {
 			switch r.out {
 			case Applied, Equal:
-				acked++
+				if r.t.cur {
+					ackCur++
+				}
+				if r.t.old {
+					ackOld++
+				}
 			case Stale, Conflict:
 				c.dropHints(attemptHints)
 				return errFenced(key, env.Version, r.out)
@@ -378,9 +509,9 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 		}
 		// Sloppy quorum: hand the write to the next healthy stand-in and
 		// leave a durable hint pointing back at the missed home.
-		c.hintAndHandoff(ctx, r.silo, key, enc, standins, &nextStandin, &acked, &attemptHints)
+		c.hintAndHandoff(ctx, r.t, key, enc, standins, &nextStandin, &ackCur, &ackOld, &attemptHints)
 	}
-	if acked >= c.cfg.W {
+	if ackCur >= w && (old == nil || ackOld >= wOld) {
 		return nil
 	}
 	// The write failed: the caller gets no ack, so this attempt's hints
@@ -390,10 +521,14 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 	// could win the same-version value-hash tie-break and erase the
 	// acknowledged write on every replica.
 	c.dropHints(attemptHints)
-	if firstErr != nil {
-		return fmt.Errorf("%w: %s got %d/%d acks: %v", ErrQuorum, key, acked, c.cfg.W, firstErr)
+	acked := ackCur
+	if old != nil && ackOld < acked {
+		acked = ackOld
 	}
-	return fmt.Errorf("%w: %s got %d/%d acks", ErrQuorum, key, acked, c.cfg.W)
+	if firstErr != nil {
+		return fmt.Errorf("%w: %s got %d/%d acks: %v", ErrQuorum, key, acked, w, firstErr)
+	}
+	return fmt.Errorf("%w: %s got %d/%d acks", ErrQuorum, key, acked, w)
 }
 
 // dropHints best-effort retires the hints a failed write attempt
@@ -411,13 +546,14 @@ func (c *Coordinator) dropHints(ids []uint64) {
 // sloppy quorum honest, stores the envelope on the next live stand-in.
 // The stand-in ack counts toward W only when the hint is durably
 // recorded first — otherwise a coordinator crash could strand the only
-// pointer from the stand-in copy back to the home set. The hint's id is
-// appended to attemptHints so the caller can retire it if the overall
-// write fails its quorum.
-func (c *Coordinator) hintAndHandoff(ctx context.Context, home, key string, enc []byte, standins []string, nextStandin *int, acked *int, attemptHints *[]uint64) {
+// pointer from the stand-in copy back to the home set. The ack is
+// credited to whichever ring(s)' home set the missed home was in. The
+// hint's id is appended to attemptHints so the caller can retire it if
+// the overall write fails its quorum.
+func (c *Coordinator) hintAndHandoff(ctx context.Context, home writeTarget, key string, enc []byte, standins []string, nextStandin *int, ackCur, ackOld *int, attemptHints *[]uint64) {
 	hinted := false
 	if c.hints != nil {
-		if id, err := c.hints.Add(Hint{Home: home, Key: key, Env: enc}); err == nil {
+		if id, err := c.hints.Add(Hint{Home: home.silo, Key: key, Env: enc}); err == nil {
 			hinted = true
 			*attemptHints = append(*attemptHints, id)
 			c.mHinted.Inc()
@@ -437,7 +573,12 @@ func (c *Coordinator) hintAndHandoff(ctx context.Context, home, key string, enc 
 			continue
 		}
 		if out == Applied || out == Equal {
-			*acked++
+			if home.cur {
+				*ackCur++
+			}
+			if home.old {
+				*ackOld++
+			}
 			c.mSloppy.Inc()
 			return
 		}
@@ -450,27 +591,39 @@ func (c *Coordinator) hintAndHandoff(ctx context.Context, home, key string, enc 
 // readQuorum collects R replica answers for key (a clean "not found"
 // counts as an answer) and returns the winning envelope under the
 // (version, value-hash) order, repairing any responder that returned an
-// older answer. found is false when no responder held the key.
+// older answer. During a ring transition R answers are required from
+// the superseded ring's home set as well — a write acked before the
+// change only intersects the old homes, and the new homes' "not found"
+// answers must not outvote it. found is false when no responder held
+// the key.
 func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, bool, error) {
-	homes := c.cfg.Ring.ReplicaSet(key, c.cfg.N)
-	pref := c.cfg.Ring.Preference(key, c.cfg.N, c.cfg.Ring.Size()-c.cfg.N)
+	cur, old := c.rings()
+	n, rq, _ := c.quorumFor(cur)
+	rOld := 0
+	nOld := 0
+	if old != nil {
+		nOld, rOld, _ = c.quorumFor(old)
+	}
+	targets := quorumTargets(key, cur, n, old, nOld)
+	pref := cur.Preference(key, n, cur.Size()-n)
 
 	type res struct {
-		silo  string
+		t     writeTarget
 		env   Envelope
 		found bool
 		err   error
 	}
-	results := make(chan res, len(homes))
-	for _, h := range homes {
-		go func(silo string) {
-			env, found, err := c.fetchFrom(ctx, silo, key)
-			results <- res{silo: silo, env: env, found: found, err: err}
-		}(h)
+	results := make(chan res, len(targets))
+	for _, t := range targets {
+		go func(t writeTarget) {
+			env, found, err := c.fetchFrom(ctx, t.silo, key)
+			results <- res{t: t, env: env, found: found, err: err}
+		}(t)
 	}
 	var oks []res
+	okCur, okOld := 0, 0
 	var firstErr error
-	for i := 0; i < len(homes); i++ {
+	for i := 0; i < len(targets); i++ {
 		r := <-results
 		if r.err != nil {
 			if firstErr == nil {
@@ -478,13 +631,25 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 			}
 			continue
 		}
+		if r.t.cur {
+			okCur++
+		}
+		if r.t.old {
+			okOld++
+		}
 		oks = append(oks, r)
 	}
 	// Home quorum short? Fall back to stand-ins: during a sloppy-quorum
-	// window they may hold the only reachable copies.
-	for i := len(homes); len(oks) < c.cfg.R && i < len(pref); i++ {
+	// window they may hold the only reachable copies. Stand-in answers
+	// count toward every active ring's quorum — they are exactly as
+	// sloppy as the handoff writes that fed them.
+	queried := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		queried[t.silo] = true
+	}
+	for i := n; (okCur < rq || okOld < rOld) && i < len(pref); i++ {
 		s := pref[i]
-		if !c.alive(s) {
+		if queried[s] || !c.alive(s) {
 			continue
 		}
 		env, found, err := c.fetchFrom(ctx, s, key)
@@ -494,13 +659,19 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 			}
 			continue
 		}
-		oks = append(oks, res{silo: s, env: env, found: found})
+		okCur++
+		okOld++
+		oks = append(oks, res{t: writeTarget{silo: s}, env: env, found: found})
 	}
-	if len(oks) < c.cfg.R {
-		if firstErr != nil {
-			return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads: %v", ErrQuorum, key, len(oks), c.cfg.R, firstErr)
+	if okCur < rq || okOld < rOld {
+		got := okCur
+		if old != nil && okOld < got {
+			got = okOld
 		}
-		return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads", ErrQuorum, key, len(oks), c.cfg.R)
+		if firstErr != nil {
+			return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads: %v", ErrQuorum, key, got, rq, firstErr)
+		}
+		return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads", ErrQuorum, key, got, rq)
 	}
 	var win Envelope
 	var winFound bool
@@ -523,7 +694,7 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 		if r.found && !newerEnv(win, r.env) {
 			continue
 		}
-		if out, err := c.applyTo(ctx, r.silo, key, enc); err == nil && out == Applied {
+		if out, err := c.applyTo(ctx, r.t.silo, key, enc); err == nil && out == Applied {
 			c.mReadRepair.Inc()
 		}
 	}

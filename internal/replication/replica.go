@@ -107,6 +107,11 @@ var ErrRebuilding = errors.New("replication: replica rebuilding")
 type Store struct {
 	cfg        StoreConfig
 	rebuilding atomic.Bool
+
+	mu       sync.RWMutex
+	ring     *Ring     // current ring
+	oldRing  *Ring     // superseded ring, nil outside a transition window
+	oldUntil time.Time // when the superseded ring drops out of digests
 }
 
 // NewStore builds a replica store.
@@ -126,7 +131,38 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
 	}
-	return &Store{cfg: cfg}, nil
+	return &Store{cfg: cfg, ring: cfg.Ring}, nil
+}
+
+// UpdateRing swaps the ring anti-entropy digests are scoped to. The
+// superseded ring stays in scope for a transition window so a silo
+// keeps offering keys it used to home to their new homes (and digests
+// stay symmetric with peers mid-change).
+func (s *Store) UpdateRing(r *Ring) {
+	if r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r.Equal(s.ring) {
+		return
+	}
+	if s.oldRing == nil || s.cfg.Clock.Now().After(s.oldUntil) {
+		s.oldRing = s.ring
+	}
+	s.ring = r
+	s.oldUntil = s.cfg.Clock.Now().Add(DefaultRingTransition)
+}
+
+// rings returns the current ring and, within the transition window, the
+// superseded one (nil otherwise).
+func (s *Store) rings() (cur, old *Ring) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.oldRing != nil && s.cfg.Clock.Now().After(s.oldUntil) {
+		s.oldRing = nil
+	}
+	return s.ring, s.oldRing
 }
 
 // Table exposes the backing table (for tests and tooling).
@@ -254,22 +290,30 @@ func (s *Store) BucketKeys(ctx context.Context, peer string, bucket uint32, buck
 }
 
 // scanShared visits every live item whose key both this silo and peer
-// home. Keys this silo merely stands in for (hinted data awaiting
-// handoff) are excluded: the hint queue, not anti-entropy, drains those.
+// home — under the current ring or, during a transition window, the
+// superseded one, so a silo still offers keys it no longer homes to
+// their new homes (the old→new backfill after a ring change). Keys this
+// silo merely stands in for (hinted data awaiting handoff) are
+// excluded: the hint queue, not anti-entropy, drains those.
 func (s *Store) scanShared(ctx context.Context, peer string, fn func(key string, env Envelope)) error {
 	self := s.cfg.Silo
-	return s.cfg.Table.Scan(ctx, "", func(it kvstore.Item) bool {
-		set := s.cfg.Ring.ReplicaSet(it.Key, s.cfg.N)
-		var hasSelf, hasPeer bool
-		for _, m := range set {
-			if m == self {
-				hasSelf = true
-			}
-			if m == peer {
-				hasPeer = true
-			}
+	cur, old := s.rings()
+	n := s.cfg.N
+	if n > cur.Size() {
+		n = cur.Size()
+	}
+	nOld := s.cfg.N
+	if old != nil && nOld > old.Size() {
+		nOld = old.Size()
+	}
+	homes := func(key, silo string) bool {
+		if cur.Homes(key, n, silo) {
+			return true
 		}
-		if !hasSelf || !hasPeer {
+		return old != nil && old.Homes(key, nOld, silo)
+	}
+	return s.cfg.Table.Scan(ctx, "", func(it kvstore.Item) bool {
+		if !homes(it.Key, self) || !homes(it.Key, peer) {
 			return true
 		}
 		env, err := DecodeEnvelope(it.Value)

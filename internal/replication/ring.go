@@ -53,9 +53,7 @@ type ringPoint struct {
 	silo int // index into silos
 }
 
-// NewRing builds a ring over the given silos. Order and duplicates are
-// normalized away; at least one silo is required.
-func NewRing(silos []string) (*Ring, error) {
+func normalizeMembers(silos []string) []string {
 	uniq := make([]string, 0, len(silos))
 	seen := make(map[string]bool, len(silos))
 	for _, s := range silos {
@@ -65,18 +63,82 @@ func NewRing(silos []string) (*Ring, error) {
 		seen[s] = true
 		uniq = append(uniq, s)
 	}
+	sort.Strings(uniq)
+	return uniq
+}
+
+func siloPoints(silo string, idx int, out []ringPoint) []ringPoint {
+	for v := 0; v < ringVnodes; v++ {
+		out = append(out, ringPoint{hash: mix64(fnv64(fmt.Sprintf("%s#%d", silo, v))), silo: idx})
+	}
+	return out
+}
+
+// NewRing builds a ring over the given silos. Order and duplicates are
+// normalized away; at least one silo is required.
+func NewRing(silos []string) (*Ring, error) {
+	uniq := normalizeMembers(silos)
 	if len(uniq) == 0 {
 		return nil, fmt.Errorf("replication: ring needs at least one silo")
 	}
-	sort.Strings(uniq)
 	r := &Ring{silos: uniq, points: make([]ringPoint, 0, len(uniq)*ringVnodes)}
 	for i, s := range uniq {
-		for v := 0; v < ringVnodes; v++ {
-			r.points = append(r.points, ringPoint{hash: mix64(fnv64(fmt.Sprintf("%s#%d", s, v))), silo: i})
-		}
+		r.points = siloPoints(s, i, r.points)
 	}
 	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
 	return r, nil
+}
+
+// WithMembers derives a new ring over the given membership, reusing the
+// already-hashed vnode points of every silo carried over from r and
+// hashing points only for silos being added — an incremental rebuild
+// for membership events. The result is identical to NewRing(silos):
+// vnode hashes depend only on the silo name, so a key's replica set
+// moves exactly as far as the consistent-hash diff demands and no
+// further.
+func (r *Ring) WithMembers(silos []string) (*Ring, error) {
+	uniq := normalizeMembers(silos)
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("replication: ring needs at least one silo")
+	}
+	idx := make(map[string]int, len(uniq))
+	for i, s := range uniq {
+		idx[s] = i
+	}
+	nr := &Ring{silos: uniq, points: make([]ringPoint, 0, len(uniq)*ringVnodes)}
+	kept := make(map[string]bool, len(r.silos))
+	for _, p := range r.points {
+		name := r.silos[p.silo]
+		if i, ok := idx[name]; ok {
+			nr.points = append(nr.points, ringPoint{hash: p.hash, silo: i})
+			kept[name] = true
+		}
+	}
+	added := false
+	for i, s := range uniq {
+		if !kept[s] {
+			nr.points = siloPoints(s, i, nr.points)
+			added = true
+		}
+	}
+	if added {
+		sort.Slice(nr.points, func(a, b int) bool { return nr.points[a].hash < nr.points[b].hash })
+	}
+	return nr, nil
+}
+
+// Equal reports whether two rings cover the same membership (and hence,
+// being deterministic over names, assign every key identically).
+func (r *Ring) Equal(o *Ring) bool {
+	if o == nil || len(r.silos) != len(o.silos) {
+		return false
+	}
+	for i := range r.silos {
+		if r.silos[i] != o.silos[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Members returns the silos the ring was built over, sorted.

@@ -11,14 +11,19 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"aodb/internal/cluster"
 	"aodb/internal/core"
+	"aodb/internal/gossip"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/placement"
+	"aodb/internal/rebalance"
 	"aodb/internal/replication"
+	"aodb/internal/systemstore"
 	"aodb/internal/telemetry"
 	"aodb/internal/transport"
 )
@@ -38,6 +43,28 @@ type Options struct {
 	// Breaker wraps the transport in per-peer circuit breakers (servers
 	// want this; a short-lived load client typically does not).
 	Breaker bool
+
+	// Gossip replaces the static membership view with a live SWIM gossip
+	// agent: placement, the replication ring, and the directory track the
+	// view as silos join, die, and refute. Silos listed in Silos form the
+	// initial view; any process can join later via Seeds, so the cluster
+	// grows elastically without restarting anything. A process whose Name
+	// is not in Silos (the load client) runs the agent in observer mode —
+	// it follows the view without becoming a member.
+	Gossip bool
+	// Seeds holds comma-separated name=addr pairs probed synchronously at
+	// JoinCluster to merge into an existing cluster's view. Peers already
+	// listed in Peers are routable anyway; Seeds only decides who gets the
+	// join probes.
+	Seeds string
+	// Rebalance starts a background rebalancer (silos only): on membership
+	// changes it live-migrates this silo's activations whose consistent-
+	// hash home moved, and with -profile it sheds the hottest actors when
+	// this silo's gossiped load runs far above the cluster mean.
+	Rebalance bool
+	// RebalanceEvery is the background planning period (0 = 10s);
+	// membership events trigger immediate rounds regardless.
+	RebalanceEvery time.Duration
 
 	// Store, when non-nil, enables actor-state persistence.
 	Store *kvstore.Store
@@ -87,6 +114,10 @@ type Node struct {
 	Tracer   *telemetry.Tracer  // nil unless Options.Trace
 	Profiler *telemetry.ActorProfiler
 	Runtime  *core.Runtime
+	// Gossip and Rebalancer are set by their Options flags; both start on
+	// JoinCluster and stop in Drain.
+	Gossip     *gossip.Agent
+	Rebalancer *rebalance.Rebalancer
 	// Coordinator and Sweeper are set when replication is on; the
 	// command owns their shutdown (see Drain).
 	Coordinator *replication.Coordinator
@@ -140,13 +171,48 @@ func Start(opts Options) (*Node, error) {
 		profiler = telemetry.NewProfiler(telemetry.ProfilerConfig{K: opts.ProfileK})
 	}
 
+	// Membership: by default a static view over opts.Silos, identical on
+	// every node. With Gossip on, the view is a live SWIM agent instead —
+	// same Viewer/Provider surface, so nothing downstream branches on
+	// which one it got. The agent's Load sampler needs the runtime, which
+	// doesn't exist yet; it reads through an atomic holder filled in
+	// after core.New.
+	var rtHold atomic.Pointer[core.Runtime]
+	var agent *gossip.Agent
+	var view cluster.Viewer = cluster.NewStaticView(strings.Split(opts.Silos, ",")...)
+	if opts.Gossip {
+		name := opts.Name
+		agent, err = gossip.New(gossip.Config{
+			Name:      name,
+			Addr:      tcp.Addr(),
+			Transport: tr,
+			Seeds:     SplitPairs(opts.Seeds),
+			Observer:  !memberOf(name, opts.Silos),
+			Load: func() int64 {
+				rt := rtHold.Load()
+				if rt == nil {
+					return 0
+				}
+				if s, ok := rt.Silo(name); ok {
+					return int64(s.Activations())
+				}
+				return 0
+			},
+			OnPeer:  tcp.SetPeer,
+			Metrics: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		view = agent
+	}
+
 	// Replicated state: this process hosts its own replica store locally
 	// (the N=1 fast path never touches the transport) and reaches peer
 	// replicas through the same breaker-wrapped transport as actor
 	// traffic. The coordinator becomes the runtime's state store, and
 	// storage-dead silos are vetoed from placement alongside open-circuit
 	// ones.
-	var view cluster.Viewer = cluster.NewStaticView(strings.Split(opts.Silos, ",")...)
 	var coord *replication.Coordinator
 	var sweeper *replication.Sweeper
 	var svc *replication.Service
@@ -208,6 +274,58 @@ func Start(opts Options) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	rtHold.Store(rt)
+
+	var rebalancer *rebalance.Rebalancer
+	if opts.Rebalance && memberOf(opts.Name, opts.Silos) {
+		var loads func() map[string]int64
+		if agent != nil {
+			loads = agent.Loads
+		}
+		rebalancer, err = rebalance.New(rebalance.Config{
+			Runtime:  rt,
+			Silo:     opts.Name,
+			View:     view,
+			Strategy: hash,
+			Profiler: profiler,
+			Loads:    loads,
+			Every:    opts.RebalanceEvery,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if agent != nil {
+		if err := rt.RegisterService(gossip.TargetKind, agent.Handle); err != nil {
+			return nil, err
+		}
+		// Membership events drive the rest of the stack: a death evicts
+		// the silo's directory registrations (so its actors fail over on
+		// the next call), any view change re-derives the replication ring
+		// (the coordinator keeps the superseded ring's quorum veto through
+		// a transition window), and the rebalancer re-plans immediately.
+		var ringMu sync.Mutex
+		agent.Subscribe(func(e cluster.Event) {
+			if e.Status == systemstore.StatusDead {
+				rt.Directory().EvictSilo(e.Silo)
+			}
+			if coord != nil {
+				ringMu.Lock()
+				if members := agent.View(); len(members) > 0 {
+					if next, rerr := coord.Ring().WithMembers(members); rerr == nil {
+						coord.UpdateRing(next)
+						rstore.UpdateRing(next)
+					}
+				}
+				ringMu.Unlock()
+			}
+			if rebalancer != nil {
+				rebalancer.Notify()
+			}
+		})
+	}
 	var bootstrapCancel context.CancelFunc
 	if coord != nil {
 		if err := rt.RegisterService(replication.TargetKind, svc.Handle); err != nil {
@@ -251,11 +369,31 @@ func Start(opts Options) (*Node, error) {
 		Tracer:          tracer,
 		Profiler:        profiler,
 		Runtime:         rt,
+		Gossip:          agent,
+		Rebalancer:      rebalancer,
 		Coordinator:     coord,
 		Sweeper:         sweeper,
 		store:           opts.Store,
 		bootstrapCancel: bootstrapCancel,
 	}, nil
+}
+
+// JoinCluster starts the gossip agent (probing Seeds synchronously, so
+// the first view is already merged when it returns) and the background
+// rebalancer. Call it after kinds are registered and AddSilo has run:
+// the join announcement is what makes peers route actors here, so the
+// silo must be ready to serve before it goes out. A no-op without
+// -gossip / -rebalance.
+func (n *Node) JoinCluster() error {
+	if n.Gossip != nil {
+		if err := n.Gossip.Start(); err != nil {
+			return err
+		}
+	}
+	if n.Rebalancer != nil {
+		n.Rebalancer.Start()
+	}
+	return nil
 }
 
 // Drain is the graceful storage shutdown, run after Runtime.Shutdown has
@@ -266,6 +404,15 @@ func Start(opts Options) (*Node, error) {
 func (n *Node) Drain(ctx context.Context) error {
 	if n.bootstrapCancel != nil {
 		n.bootstrapCancel()
+	}
+	if n.Rebalancer != nil {
+		n.Rebalancer.Stop()
+	}
+	if n.Gossip != nil {
+		// Graceful departure: announce Left (peers drop us without a
+		// suspicion round) and stop probing.
+		n.Gossip.Leave(ctx)
+		n.Gossip.Stop()
 	}
 	if n.Sweeper != nil {
 		n.Sweeper.Stop()

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+type redirectingError struct{ winner string }
+
+func (e *redirectingError) Error() string          { return "wrong silo: try " + e.winner }
+func (e *redirectingError) RedirectTarget() string { return e.winner }
+
+// TestTCPRedirectSurvivesWire: a handler error carrying a redirect
+// target (core's wrong-silo error) must come back to the caller as a
+// typed RedirectError — gob flattens error values to strings, so the
+// target rides in its own frame field.
+func TestTCPRedirectSurvivesWire(t *testing.T) {
+	caller, err := NewTCP("caller", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caller.Close()
+	peer, err := NewTCP("peer", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if err := peer.Register("peer", func(ctx context.Context, req Request) (any, error) {
+		if req.Payload.(testPayload).N == 1 {
+			return nil, fmt.Errorf("resolve: %w", &redirectingError{winner: "silo-9"})
+		}
+		return nil, errors.New("boom")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	caller.SetPeer("peer", peer.Addr())
+
+	_, err = caller.Call(context.Background(), "peer", Request{Payload: testPayload{1}})
+	var r *RedirectError
+	if !errors.As(err, &r) {
+		t.Fatalf("err = %T %v, want *RedirectError", err, err)
+	}
+	if r.Target != "silo-9" {
+		t.Fatalf("redirect target = %q, want silo-9", r.Target)
+	}
+	if !r.TransientError() {
+		t.Fatal("redirects must be retryable")
+	}
+	// Plain handler errors still surface as RemoteError, not redirects.
+	_, err = caller.Call(context.Background(), "peer", Request{Payload: testPayload{2}})
+	if errors.As(err, &r) {
+		t.Fatalf("plain error decoded as redirect: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RemoteError", err, err)
+	}
+}

@@ -380,6 +380,12 @@ func (t *TCP) dispatch(w *frameWriter, f *codec.Frame) {
 		out.Kind = codec.FrameError
 		out.Err = err.Error()
 		out.Payload = nil
+		// Wrong-silo answers carry their redirect target as a frame field
+		// so the caller can re-route instead of blind-retrying.
+		var r interface{ RedirectTarget() string }
+		if errors.As(err, &r) {
+			out.Redirect = r.RedirectTarget()
+		}
 	}
 	// A reply that cannot be written is a response the peer will never
 	// see. The writer marks the stream dead (closing the connection so
@@ -424,7 +430,11 @@ func (t *TCP) conn(node, key string) (*tcpConn, error) {
 	addr, known := t.peers[node]
 	if !known {
 		t.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, node)
+		// Unreachability, same as Local: under gossip membership a peer
+		// can be addressed (via a redirect or a fresh view) moments
+		// before its name=addr mapping arrives, so the caller must be
+		// free to retry.
+		return nil, &UnreachableError{Node: node, Err: fmt.Errorf("%w: %q", ErrUnknownNode, node)}
 	}
 	ss := t.conns[node]
 	if ss == nil {
@@ -611,8 +621,11 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 	}
 	respChans.Put(ch)
 	if f.Kind == codec.FrameError {
-		msg := f.Err
+		msg, redirect := f.Err, f.Redirect
 		codec.PutFrame(f)
+		if redirect != "" {
+			return nil, &RedirectError{Node: node, Target: redirect, Msg: msg}
+		}
 		return nil, &RemoteError{Node: node, Msg: msg}
 	}
 	payload := f.Payload

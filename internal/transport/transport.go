@@ -104,6 +104,28 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("remote error from %s: %s", e.Node, e.Msg)
 }
 
+// RedirectError reports that the addressed node rejected the request and
+// named the node that should serve it — the wire form of core's
+// wrong-silo answer (an activation race lost, or an actor migrated
+// away). It is transient: re-routing to Target is expected to succeed.
+type RedirectError struct {
+	Node   string // the node that answered
+	Target string // the node it redirected to
+	Msg    string
+}
+
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("transport: %s redirects to %s: %s", e.Node, e.Target, e.Msg)
+}
+
+// RedirectTarget names the node to re-route to; core's wrong-silo error
+// implements the same method, so routing code handles local and remote
+// redirects uniformly.
+func (e *RedirectError) RedirectTarget() string { return e.Target }
+
+// TransientError marks redirects safe to retry (at the new target).
+func (e *RedirectError) TransientError() bool { return true }
+
 // Local is an in-process transport with simulated link latency. It is the
 // default for tests, examples, and the benchmark harness.
 type Local struct {

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# scale_smoke.sh — end-to-end elastic scale-out smoke test.
+#
+# Boots a 2-silo shmserver cluster with SWIM gossip membership, live
+# rebalancing, and 3-way replicated actor state, puts it under shmload
+# (which follows the gossip as an observer), then starts a THIRD silo
+# that appears in nobody's -silos list — it joins purely by probing a
+# seed. The cluster must: converge every member's view on 3 silos,
+# live-migrate activations onto the joiner (drain with state flush,
+# redirect markers, version fences), finish the load run with zero
+# errors, and report the membership through /cluster/prom and shmtop's
+# MEMBERSHIP panel. The in-process twin of this demo — with a strict
+# acked-write audit — is `shmbench -ablation elastic` (Ablation H).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+L1=${L1:-127.0.0.1:7501}
+L2=${L2:-127.0.0.1:7502}
+L3=${L3:-127.0.0.1:7503}
+O1=${O1:-127.0.0.1:9501}
+O2=${O2:-127.0.0.1:9502}
+O3=${O3:-127.0.0.1:9503}
+
+bin=$(mktemp -d)
+data=$(mktemp -d)
+pid1= pid2= pid3= loadpid=
+cleanup() {
+  for p in "$loadpid" "$pid1" "$pid2" "$pid3"; do
+    [ -n "$p" ] && kill "$p" 2>/dev/null || true
+  done
+  for p in "$loadpid" "$pid1" "$pid2" "$pid3"; do
+    [ -n "$p" ] && wait "$p" 2>/dev/null || true
+  done
+  rm -rf "$bin" "$data"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/shmserver ./cmd/shmload ./cmd/shmtop
+
+start_silo() { # name listen obs silos seeds extra...
+  local name=$1 listen=$2 obs=$3 silos=$4 seeds=$5; shift 5
+  "$bin/shmserver" -name "$name" -listen "$listen" -silos "$silos" \
+    -gossip -seeds "$seeds" -rebalance -rebalance-every 1s \
+    -store "$data/$name" -replicas 3 -sweep-every 500ms \
+    -introspect "$obs" "$@" &
+}
+
+wait_obs() { # url
+  for _ in $(seq 50); do
+    curl -sf "http://$1/obs" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "scale smoke: $1 never came up"; return 1
+}
+
+wait_metric() { # regex what
+  for _ in $(seq 100); do
+    curl -sf "http://$O1/cluster/prom" 2>/dev/null | grep -Eq "$1" && return 0
+    sleep 0.2
+  done
+  echo "scale smoke: timed out waiting for $2"; return 1
+}
+
+# The initial pair: each lists both in -silos, seeded off each other.
+# silo-1 also aggregates cluster observability — silo-3's endpoint is
+# pre-listed and simply reads as down until it exists.
+start_silo silo-1 "$L1" "$O1" silo-1,silo-2 "silo-2=$L2" \
+  -history -history-every 500ms -obs-peers "silo-2=$O2,silo-3=$O3"
+pid1=$!
+start_silo silo-2 "$L2" "$O2" silo-1,silo-2 "silo-1=$L1"
+pid2=$!
+wait_obs "$O1"; wait_obs "$O2"
+
+# Sustained load through a gossip-following observer client: placement
+# tracks the live view, so the joiner takes traffic the moment it is in.
+# Entity-family hashing moves whole org groups (100 sensors each), so the
+# population needs enough orgs — 2000 sensors = 20 groups — for the
+# joiner's hash-diff slice to be non-empty with near certainty.
+"$bin/shmload" -name loadclient -silos silo-1,silo-2 -peers "silo-1=$L1,silo-2=$L2" \
+  -gossip -seeds "silo-1=$L1" \
+  -sensors 2000 -duration 12s -warmup 1s -queries=true >"$data/load.out" 2>&1 &
+loadpid=$!
+
+sleep 2
+
+# Elastic join: silo-3 is in NOBODY's -silos list. One seed is all it
+# gets; gossip does the rest, and the rebalancers move actors onto it.
+start_silo silo-3 "$L3" "$O3" silo-3 "silo-1=$L1"
+pid3=$!
+wait_obs "$O3"
+
+# Every member's view gauge reads 3 alive; the cluster page sums them.
+wait_metric '^aodb_cluster_gossip_members_alive 9' "view convergence on 3 silos"
+# Live rebalancing actually moved activations onto the joiner.
+wait_metric '^aodb_cluster_core_migrations_in [1-9]' "live migrations onto silo-3"
+
+wait "$loadpid"; loadrc=$?; loadpid=
+cat "$data/load.out"
+[ "$loadrc" -eq 0 ] || { echo "scale smoke: load client failed"; exit 1; }
+grep -q "errors:" "$data/load.out" && { echo "scale smoke: load saw errors during the join"; exit 1; }
+grep -q "following gossip membership" "$data/load.out" \
+  || { echo "scale smoke: load client was not following gossip"; exit 1; }
+
+frame=$("$bin/shmtop" -cluster "http://$O1" -once -k 5)
+echo "$frame" | grep -q "MEMBERSHIP" || { echo "scale smoke: shmtop missing MEMBERSHIP panel"; exit 1; }
+echo "$frame" | grep -q "3/3 silos up" || { echo "scale smoke: not all silos up"; exit 1; }
+
+echo "scale smoke: OK"
