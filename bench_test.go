@@ -16,6 +16,7 @@ import (
 	"aodb/internal/bench"
 	"aodb/internal/capacity"
 	"aodb/internal/core"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/telemetry"
 )
@@ -251,6 +252,54 @@ func BenchmarkActorCallHotTracerDisabled(b *testing.B) {
 // BenchmarkActorCallHotTraced: every request sampled end to end.
 func BenchmarkActorCallHotTraced(b *testing.B) {
 	benchHotLoop(b, telemetry.New(telemetry.Config{SampleEvery: 1}))
+}
+
+// benchHotLoopJournal mirrors benchHotLoop for the flight recorder: the
+// same hot-actor call loop with a journal installed, enabled or not.
+// The disabled case is the contract under test — one atomic load per
+// call site, within noise of the bare baseline.
+func benchHotLoopJournal(b *testing.B, enabled bool) {
+	jr := journal.New(journal.Config{Silo: "bench"})
+	jr.SetEnabled(enabled)
+	rt, err := core.New(core.Config{IdleAfter: time.Hour, CollectEvery: time.Hour, Journal: jr})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	if err := rt.RegisterKind("Echo", func() core.Actor { return echoActor{} }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.AddSilo("silo-1", nil); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	id := core.ID{Kind: "Echo", Key: "one"}
+	if _, err := rt.Call(ctx, id, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call(ctx, id, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActorCallHotJournalDisabled: flight recorder installed but
+// switched off — the configuration production runs idle in.
+func BenchmarkActorCallHotJournalDisabled(b *testing.B) {
+	benchHotLoopJournal(b, false)
+}
+
+// BenchmarkActorCallHotJournaled: flight recorder on; fast calls record
+// nothing (no slow turns, no anomalies), so this measures the enabled
+// check plus the HLC bookkeeping on the call path.
+func BenchmarkActorCallHotJournaled(b *testing.B) {
+	benchHotLoopJournal(b, true)
 }
 
 // BenchmarkActorCallParallel measures many goroutines calling many actors.

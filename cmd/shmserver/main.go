@@ -54,7 +54,18 @@
 //   - -history runs the cluster aggregator in-process: the silo scrapes
 //     itself (and any -obs-peers name=url endpoints), keeps a ring of
 //     recent merged percentiles, and serves /cluster, /cluster/history,
-//     and /cluster/prom from its introspection port.
+//     and /cluster/prom from its introspection port. With -gossip the
+//     aggregator also discovers scrape targets from the membership view
+//     (peers gossip their introspection addresses), and members the view
+//     declares dead have their last-good snapshots marked stale.
+//   - -journal runs the causal flight recorder: a bounded per-silo ring
+//     of HLC-stamped cluster events (membership transitions, migration
+//     phases, quorum outcomes, hinted handoff, breaker trips, slow
+//     turns, WAL flush stalls, panics), served at /events and merged
+//     across silos by /cluster/events and shmtrace. Anomalies — lost
+//     quorums, panics, members declared dead, SLO-breaching turns —
+//     freeze the ring to a capture file under -journal-capture-dir, so
+//     the window around a crash survives the crash.
 //
 // The TCP wire path is tunable: -stripes N opens N parallel gob streams
 // per peer, -no-batching disables write coalescing (the measured
@@ -77,6 +88,8 @@ import (
 	"time"
 
 	"aodb/internal/core"
+	"aodb/internal/gossip"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/obs"
 	"aodb/internal/shm"
@@ -106,6 +119,11 @@ func main() {
 	flag.DurationVar(&cfg.slowTurn, "slow-turn", 250*time.Millisecond, "flag actor turns slower than this")
 	flag.BoolVar(&cfg.profile, "profile", false, "account per-actor hot spots (CPU, turns, mailbox high-water) in a bounded sketch")
 	flag.IntVar(&cfg.profileK, "profile-k", 64, "hot-actor sketch slots (memory is O(K) regardless of actor count)")
+	flag.BoolVar(&cfg.journal, "journal", false, "record HLC-stamped cluster events in the flight-recorder ring (served at /events)")
+	flag.IntVar(&cfg.journalSize, "journal-size", 0, "flight-recorder ring capacity in events (0 = 4096)")
+	flag.StringVar(&cfg.journalCaptureDir, "journal-capture-dir", "", "freeze the ring to JSON files here when an anomaly fires (empty = captures off)")
+	flag.DurationVar(&cfg.journalSLO, "journal-slo", 0, "turn duration treated as an SLO breach, triggering a capture (0 = 10x -slow-turn)")
+	flag.DurationVar(&cfg.walStall, "wal-stall", time.Second, "with -journal and -store, journal WAL group flushes slower than this")
 	flag.BoolVar(&cfg.pprofOn, "pprof", false, "mount /debug/pprof on the introspection port")
 	flag.BoolVar(&cfg.history, "history", false, "aggregate cluster metrics in-process and serve /cluster with history")
 	flag.StringVar(&cfg.obsPeers, "obs-peers", "", "comma-separated name=url introspection endpoints to aggregate with -history")
@@ -138,6 +156,11 @@ type serverConfig struct {
 	slowTurn                             time.Duration
 	profile                              bool
 	profileK                             int
+	journal                              bool
+	journalSize                          int
+	journalCaptureDir                    string
+	journalSLO                           time.Duration
+	walStall                             time.Duration
 	pprofOn                              bool
 	history                              bool
 	obsPeers                             string
@@ -148,10 +171,37 @@ type serverConfig struct {
 }
 
 func run(ctx context.Context, cfg serverConfig) error {
+	// The flight recorder is built here, not in siloboot, so it can hook
+	// sources the boot layer never sees — like the store's WAL flush
+	// stalls below, which need the journal before kvstore.Open runs.
+	var jr *journal.Journal
+	if cfg.journal {
+		jr = journal.New(journal.Config{
+			Silo:       cfg.name,
+			Size:       cfg.journalSize,
+			CaptureDir: cfg.journalCaptureDir,
+			SlowTurn:   cfg.slowTurn,
+			SLOTurn:    cfg.journalSLO,
+			OnCapture: func(path, reason string) {
+				log.Printf("shmserver: journal capture %s (%s)", path, reason)
+			},
+		})
+		jr.SetEnabled(true)
+	}
+
 	var store *kvstore.Store
 	if cfg.storeDir != "" {
+		kvOpts := kvstore.Options{Dir: cfg.storeDir, Durable: cfg.durable}
+		if jr != nil {
+			kvOpts.FlushStallAfter = cfg.walStall
+			kvOpts.OnFlushStall = func(d time.Duration, records int) {
+				if jr.Enabled() {
+					jr.Record(journal.WALStall, "", 0, fmt.Sprintf("flush took %v (%d records)", d, records))
+				}
+			}
+		}
 		var err error
-		store, err = kvstore.Open(kvstore.Options{Dir: cfg.storeDir, Durable: cfg.durable})
+		store, err = kvstore.Open(kvOpts)
 		if err != nil {
 			return err
 		}
@@ -195,6 +245,8 @@ func run(ctx context.Context, cfg serverConfig) error {
 		SlowTurn:       cfg.slowTurn,
 		Profile:        cfg.profile,
 		ProfileK:       cfg.profileK,
+		Journal:        jr,
+		ObsAddr:        cfg.introspect,
 	})
 	if err != nil {
 		return err
@@ -231,11 +283,25 @@ func run(ctx context.Context, cfg serverConfig) error {
 	if cfg.introspect != "" {
 		in := node.Introspection(cfg.pprofOn)
 		if cfg.history {
-			agg := obs.New(obs.Config{
+			aggCfg := obs.Config{
 				Targets:  obsTargets(cfg.obsPeers),
 				Interval: cfg.historyEvery,
-			})
+			}
+			if ag := node.Gossip; ag != nil {
+				// Scrape targets come from the live membership view: peers
+				// gossip their introspection addresses, so a joiner shows up
+				// on /cluster without anyone editing -obs-peers. Members the
+				// view declares dead keep their last-good snapshot, marked
+				// stale immediately.
+				self := cfg.name
+				aggCfg.Discover = func() []obs.Target { return gossipTargets(ag, self) }
+				aggCfg.Dead = func(name string) bool { return gossipDead(ag, name) }
+			}
+			agg := obs.New(aggCfg)
 			agg.AddLocal(cfg.name, in.Obs)
+			if jr != nil {
+				agg.AddLocalEvents(cfg.name, jr.WireSnapshot)
+			}
 			go agg.Run(ctx)
 			in.Extra = agg.Register
 		}
@@ -283,4 +349,36 @@ func obsTargets(pairs string) []obs.Target {
 		out = append(out, obs.Target{Name: p[0], URL: url})
 	}
 	return out
+}
+
+// gossipTargets lists the membership view's advertised introspection
+// endpoints as aggregator scrape targets (self excluded — it is wired
+// in-process via AddLocal).
+func gossipTargets(ag *gossip.Agent, self string) []obs.Target {
+	var out []obs.Target
+	for _, m := range ag.Members() {
+		if m.Name == self || m.ObsAddr == "" {
+			continue
+		}
+		if m.State != gossip.StateAlive && m.State != gossip.StateSuspect {
+			continue
+		}
+		url := m.ObsAddr
+		if url[0] != 'h' {
+			url = "http://" + url
+		}
+		out = append(out, obs.Target{Name: m.Name, URL: url})
+	}
+	return out
+}
+
+// gossipDead reports whether the membership view has declared a silo
+// dead (or it left); the aggregator marks its last-good snapshot stale.
+func gossipDead(ag *gossip.Agent, name string) bool {
+	for _, m := range ag.Members() {
+		if m.Name == name {
+			return m.State == gossip.StateDead || m.State == gossip.StateLeft
+		}
+	}
+	return false
 }

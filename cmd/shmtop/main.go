@@ -14,6 +14,18 @@
 //
 //	shmtop -cluster http://127.0.0.1:9101
 //
+// or, when the cluster gossips, at any one seed silo — every other silo
+// (including ones that join later) is discovered from the membership
+// view it serves at /members, and members the view declares dead are
+// shown DEAD with their last-good numbers marked stale:
+//
+//	shmtop -discover 127.0.0.1:9101
+//
+// When silos run with -journal, each frame ends with a TIMELINE panel:
+// the newest flight-recorder events across the cluster, HLC-merged into
+// causal order (see shmtrace for the full-timeline tool). -events sets
+// the row count (0 hides the panel).
+//
 // -once renders a single frame and exits (scriptable; the CI smoke test
 // uses it), -interval sets the refresh period, -k the hot-actor rows.
 package main
@@ -28,31 +40,42 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"text/tabwriter"
 	"time"
 
+	"aodb/internal/journal"
 	"aodb/internal/obs"
 	"aodb/internal/siloboot"
+	"aodb/internal/telemetry"
 )
 
 func main() {
 	cluster := flag.String("cluster", "", "URL of an aggregating silo (shmserver -history); reads its /cluster")
 	silos := flag.String("silos", "", "comma-separated name=url silo introspection endpoints to scrape directly")
+	discover := flag.String("discover", "", "URL of any one gossiping silo; the rest are discovered live from its /members view")
 	interval := flag.Duration("interval", 2*time.Second, "refresh period")
 	k := flag.Int("k", 10, "hot-actor rows to show")
+	events := flag.Int("events", 12, "TIMELINE rows: newest flight-recorder events, HLC-merged (0 = off)")
 	once := flag.Bool("once", false, "render one frame and exit")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-scrape timeout")
 	flag.Parse()
 
-	if (*cluster == "") == (*silos == "") {
-		fmt.Fprintln(os.Stderr, "shmtop: need exactly one of -cluster URL or -silos name=url,...")
+	modes := 0
+	for _, m := range []string{*cluster, *silos, *discover} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "shmtop: need exactly one of -cluster URL, -silos name=url,..., or -discover URL")
 		os.Exit(2)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	fetch := newFetcher(*cluster, *silos, *timeout)
+	fetch, fetchEvents := newFetcher(*cluster, *silos, *discover, *timeout)
 	for {
 		snap, err := fetch(ctx)
 		if err != nil {
@@ -62,7 +85,11 @@ func main() {
 			}
 			fmt.Printf("shmtop: %v (retrying)\n", err)
 		} else {
-			frame := render(snap, *k)
+			var timeline []journal.WireEvent
+			if *events > 0 {
+				timeline = fetchEvents(ctx, *events)
+			}
+			frame := render(snap, *k, timeline)
 			if *once {
 				fmt.Print(frame)
 				return
@@ -79,49 +106,125 @@ func main() {
 	}
 }
 
-// newFetcher returns the snapshot source: either a remote aggregator's
-// /cluster endpoint or an embedded aggregator over the given silos.
-func newFetcher(cluster, silos string, timeout time.Duration) func(context.Context) (obs.ClusterSnapshot, error) {
+// newFetcher returns the snapshot and timeline sources: a remote
+// aggregator's /cluster + /cluster/events endpoints, or an embedded
+// aggregator over the given silos — listed statically with -silos, or
+// discovered live from a gossiping seed's /members view with -discover.
+func newFetcher(cluster, silos, discover string, timeout time.Duration) (func(context.Context) (obs.ClusterSnapshot, error), func(context.Context, int) []journal.WireEvent) {
+	client := &http.Client{Timeout: timeout}
 	if cluster != "" {
-		client := &http.Client{Timeout: timeout}
-		url := strings.TrimSuffix(cluster, "/")
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
-		}
-		url += "/cluster"
-		return func(ctx context.Context) (obs.ClusterSnapshot, error) {
+		base := normalizeURL(cluster)
+		fetch := func(ctx context.Context) (obs.ClusterSnapshot, error) {
 			var snap obs.ClusterSnapshot
-			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-			if err != nil {
-				return snap, err
-			}
-			resp, err := client.Do(req)
-			if err != nil {
-				return snap, err
-			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				return snap, fmt.Errorf("%s returned %s", url, resp.Status)
-			}
-			err = json.NewDecoder(resp.Body).Decode(&snap)
+			err := getJSON(ctx, client, base+"/cluster", &snap)
 			return snap, err
 		}
-	}
-	var targets []obs.Target
-	for _, p := range siloboot.SplitPairs(silos) {
-		url := p[1]
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
+		fetchEvents := func(ctx context.Context, n int) []journal.WireEvent {
+			var events []journal.WireEvent
+			_ = getJSON(ctx, client, fmt.Sprintf("%s/cluster/events?n=%d", base, n), &events)
+			return events
 		}
-		targets = append(targets, obs.Target{Name: p[0], URL: url})
+		return fetch, fetchEvents
 	}
-	agg := obs.New(obs.Config{Targets: targets, Timeout: timeout})
-	return func(ctx context.Context) (obs.ClusterSnapshot, error) {
+
+	aggCfg := obs.Config{Timeout: timeout}
+	if discover != "" {
+		mv := &memberView{client: client, seed: normalizeURL(discover)}
+		aggCfg.Discover = mv.targets
+		aggCfg.Dead = mv.dead
+	} else {
+		for _, p := range siloboot.SplitPairs(silos) {
+			aggCfg.Targets = append(aggCfg.Targets, obs.Target{Name: p[0], URL: normalizeURL(p[1])})
+		}
+	}
+	agg := obs.New(aggCfg)
+	fetch := func(ctx context.Context) (obs.ClusterSnapshot, error) {
 		return agg.PollOnce(ctx), nil
 	}
+	fetchEvents := func(ctx context.Context, n int) []journal.WireEvent {
+		events := agg.EventsOnce(ctx)
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+		return events
+	}
+	return fetch, fetchEvents
 }
 
-func render(snap obs.ClusterSnapshot, k int) string {
+// memberView is shmtop's observer-mode window onto the cluster: it
+// polls one seed silo's /members (the gossip view, with each member's
+// advertised scrape endpoint) and derives the aggregator's target list
+// and dead-set from it. The last good view is kept across seed hiccups
+// so a frame during a seed restart still shows the known members.
+type memberView struct {
+	client *http.Client
+	seed   string
+
+	mu      sync.Mutex
+	last    []telemetry.MemberInfo
+	deadSet map[string]bool
+}
+
+// targets refreshes the view and lists scrape targets: every member
+// advertising an endpoint, dead ones included — the aggregator keeps
+// their last-good snapshot and the dead-set marks it stale.
+func (mv *memberView) targets() []obs.Target {
+	ctx, cancel := context.WithTimeout(context.Background(), mv.client.Timeout)
+	defer cancel()
+	var members []telemetry.MemberInfo
+	if err := getJSON(ctx, mv.client, mv.seed+"/members", &members); err == nil && len(members) > 0 {
+		mv.mu.Lock()
+		mv.last = members
+		mv.deadSet = make(map[string]bool, len(members))
+		for _, m := range members {
+			if m.State == "dead" || m.State == "left" {
+				mv.deadSet[m.Name] = true
+			}
+		}
+		mv.mu.Unlock()
+	}
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	var out []obs.Target
+	for _, m := range mv.last {
+		if m.ObsAddr != "" {
+			out = append(out, obs.Target{Name: m.Name, URL: normalizeURL(m.ObsAddr)})
+		}
+	}
+	return out
+}
+
+func (mv *memberView) dead(name string) bool {
+	mv.mu.Lock()
+	defer mv.mu.Unlock()
+	return mv.deadSet[name]
+}
+
+func normalizeURL(u string) string {
+	u = strings.TrimSuffix(u, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+func render(snap obs.ClusterSnapshot, k int, timeline []journal.WireEvent) string {
 	var b strings.Builder
 	up := 0
 	for _, s := range snap.Silos {
@@ -141,6 +244,10 @@ func render(snap obs.ClusterSnapshot, k int) string {
 	for _, s := range snap.Silos {
 		state := "up"
 		switch {
+		case s.Dead:
+			// The membership view declared it dead: numbers below are its
+			// last-good snapshot, not live.
+			state = "DEAD"
 		case s.Stale:
 			state = "STALE"
 		case !s.Ok:
@@ -279,6 +386,29 @@ func render(snap obs.ClusterSnapshot, k int) string {
 		for _, kp := range snap.Kinds {
 			fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%s\n",
 				kp.Kind, kp.Turns, dur(kp.CPUNanos), kp.MailboxHWM, bytesStr(kp.MaxStateBytes))
+		}
+		tw.Flush()
+	}
+
+	// Flight-recorder timeline: the newest cluster events, HLC-merged
+	// into causal order. shmtrace is the full-depth version of this view.
+	if len(timeline) > 0 {
+		b.WriteString("\nTIMELINE (flight recorder, causal order; newest last)\n")
+		tw = tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "TIME\tSILO\tKIND\tACTOR\tCORR\tDETAIL")
+		for _, e := range timeline {
+			ts := e.Time
+			if t, err := time.Parse(time.RFC3339Nano, e.Time); err == nil {
+				ts = t.Format("15:04:05.000")
+			}
+			actor, corr := e.Actor, e.Corr
+			if actor == "" {
+				actor = "-"
+			}
+			if corr == "" {
+				corr = "-"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", ts, e.Silo, e.Kind, actor, corr, e.Detail)
 		}
 		tw.Flush()
 	}

@@ -28,12 +28,12 @@ func TestRenderAgainstLiveSilo(t *testing.T) {
 	srv := httptest.NewServer(in.Handler())
 	defer srv.Close()
 
-	fetch := newFetcher("", "silo-1="+srv.URL, time.Second)
+	fetch, events := newFetcher("", "silo-1="+srv.URL, "", time.Second)
 	snap, err := fetch(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := render(snap, 10)
+	frame := render(snap, 10, events(context.Background(), 5))
 	for _, want := range []string{
 		"1/1 silos up",
 		"shm.call_latency",
@@ -57,7 +57,7 @@ func TestRenderMarksDownSilo(t *testing.T) {
 		Timeout: 200 * time.Millisecond,
 	})
 	snap := agg.PollOnce(context.Background())
-	frame := render(snap, 5)
+	frame := render(snap, 5, nil)
 	if !strings.Contains(frame, "PARTIAL") || !strings.Contains(frame, "DOWN") {
 		t.Fatalf("down silo not surfaced:\n%s", frame)
 	}

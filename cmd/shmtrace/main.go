@@ -1,0 +1,271 @@
+// Command shmtrace reconstructs what an SHM cluster did — and in what
+// causal order — from the silos' flight-recorder rings. Every journal
+// event carries a hybrid logical clock stamp that travels on the wire
+// with actor calls, migrations, and replica writes, so merging the
+// per-silo rings by HLC yields a single timeline where cause sorts
+// before effect even across machines with skewed wall clocks.
+//
+// Point it at silo introspection endpoints (it scrapes each /events and
+// merges locally):
+//
+//	shmtrace -silos silo-1=127.0.0.1:9101,silo-2=127.0.0.1:9102
+//
+// or at an aggregating silo (shmserver -history serves the merged
+// timeline at /cluster/events):
+//
+//	shmtrace -cluster http://127.0.0.1:9101
+//
+// or, with gossip on, at any one seed silo — the rest of the cluster is
+// discovered from its /members view, including silos that joined after
+// the operator last looked:
+//
+//	shmtrace -discover 127.0.0.1:9101
+//
+// After a crash, feed it the capture files the anomaly froze to disk
+// (they survive the process that wrote them):
+//
+//	shmtrace -capture /data/silo-2/flight-*.json
+//
+// Filters narrow the timeline to one incident: -actor an actor id,
+// -corr a correlation id (16 hex digits, printed in every line — one
+// migration or quorum write shares one id across every silo it
+// touched), -kind a wire kind name like migrate-drain or
+// quorum-write-fail, -n the newest N events. -json emits the merged
+// WireEvent array instead of the human-readable table.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"aodb/internal/journal"
+	"aodb/internal/siloboot"
+	"aodb/internal/telemetry"
+)
+
+func main() {
+	cluster := flag.String("cluster", "", "URL of an aggregating silo (shmserver -history); reads its merged /cluster/events")
+	silos := flag.String("silos", "", "comma-separated name=url silo introspection endpoints to scrape directly")
+	discover := flag.String("discover", "", "URL of any one gossiping silo; the rest are discovered from its /members view")
+	capture := flag.String("capture", "", "comma-separated capture file paths or globs (flight-*.json) to merge instead of scraping")
+	actor := flag.String("actor", "", "only events for this actor id")
+	corr := flag.String("corr", "", "only events with this correlation id (16 hex digits)")
+	kind := flag.String("kind", "", "only events of this kind (e.g. migrate-drain, quorum-write-fail)")
+	n := flag.Int("n", 0, "newest N events after filtering (0 = all)")
+	asJSON := flag.Bool("json", false, "emit the merged timeline as JSON instead of a table")
+	timeout := flag.Duration("timeout", 3*time.Second, "per-scrape timeout")
+	flag.Parse()
+
+	sources := 0
+	for _, s := range []string{*cluster, *silos, *discover, *capture} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		fmt.Fprintln(os.Stderr, "shmtrace: need exactly one of -cluster URL, -silos name=url,..., -discover URL, or -capture files")
+		os.Exit(2)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := &http.Client{Timeout: *timeout}
+
+	var events []journal.WireEvent
+	var err error
+	switch {
+	case *capture != "":
+		events, err = mergeCaptures(*capture)
+	case *cluster != "":
+		// The aggregator already merged; one GET is the whole timeline.
+		events, err = fetchEvents(ctx, client, normalizeURL(*cluster)+"/cluster/events")
+	case *discover != "":
+		var targets map[string]string
+		targets, err = discoverTargets(ctx, client, normalizeURL(*discover))
+		if err == nil {
+			events = scrapeAndMerge(ctx, client, targets)
+		}
+	default:
+		targets := map[string]string{}
+		for _, p := range siloboot.SplitPairs(*silos) {
+			targets[p[0]] = normalizeURL(p[1])
+		}
+		events = scrapeAndMerge(ctx, client, targets)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shmtrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	events = telemetry.FilterEvents(events, *actor, *corr, *kind)
+	if *n > 0 && *n < len(events) {
+		events = events[len(events)-*n:]
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(events)
+		return
+	}
+	printTimeline(os.Stdout, events)
+}
+
+// normalizeURL accepts bare host:port or full URLs.
+func normalizeURL(u string) string {
+	u = strings.TrimSuffix(u, "/")
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return u
+}
+
+// fetchEvents GETs one endpoint that serves a []WireEvent.
+func fetchEvents(ctx context.Context, client *http.Client, url string) ([]journal.WireEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	var events []journal.WireEvent
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	return events, err
+}
+
+// discoverTargets reads a seed silo's /members view and returns the
+// scrape URL for every member that advertises one. Dead members are
+// kept: their endpoint is gone but the seed may still be holding events
+// about them, and scrape failures are non-fatal below.
+func discoverTargets(ctx context.Context, client *http.Client, seed string) (map[string]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, seed+"/members", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/members returned %s", seed, resp.Status)
+	}
+	var members []telemetry.MemberInfo
+	if err := json.NewDecoder(resp.Body).Decode(&members); err != nil {
+		return nil, err
+	}
+	targets := map[string]string{}
+	for _, m := range members {
+		if m.ObsAddr != "" {
+			targets[m.Name] = normalizeURL(m.ObsAddr)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("%s/members advertises no observability endpoints (silos need -introspect, and gossip on)", seed)
+	}
+	return targets, nil
+}
+
+// scrapeAndMerge pulls each silo's /events ring and HLC-merges them.
+// Unreachable silos are reported and skipped — after a crash, the
+// survivors' rings are exactly the point.
+func scrapeAndMerge(ctx context.Context, client *http.Client, targets map[string]string) []journal.WireEvent {
+	var sets [][]journal.WireEvent
+	for name, url := range targets {
+		events, err := fetchEvents(ctx, client, url+"/events")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmtrace: %s unreachable (%v), merging without it\n", name, err)
+			continue
+		}
+		sets = append(sets, events)
+	}
+	return journal.Merge(sets...)
+}
+
+// mergeCaptures reads flight-recorder capture files (comma-separated
+// paths or globs) and merges their rings.
+func mergeCaptures(spec string) ([]journal.WireEvent, error) {
+	var paths []string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		matches, err := filepath.Glob(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad glob %q: %w", part, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no capture files match %q", part)
+		}
+		paths = append(paths, matches...)
+	}
+	var sets [][]journal.WireEvent
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		// Capture files wrap the ring in metadata; raw /events dumps are
+		// bare arrays. Accept both.
+		var cf struct {
+			Silo   string              `json:"silo"`
+			Reason string              `json:"reason"`
+			Events []journal.WireEvent `json:"events"`
+		}
+		if err := json.Unmarshal(data, &cf); err != nil {
+			var bare []journal.WireEvent
+			if jerr := json.Unmarshal(data, &bare); jerr != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			sets = append(sets, bare)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "shmtrace: %s: %d events from %s (captured: %s)\n", filepath.Base(path), len(cf.Events), cf.Silo, cf.Reason)
+		sets = append(sets, cf.Events)
+	}
+	return journal.Merge(sets...), nil
+}
+
+// printTimeline renders the merged timeline, one event per line, in
+// causal order. The correlation id column is what ties one logical
+// operation's lines together across silos.
+func printTimeline(w io.Writer, events []journal.WireEvent) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "shmtrace: no events (journals empty, disabled, or filtered out)")
+		return
+	}
+	for _, e := range events {
+		ts := e.Time
+		if t, err := time.Parse(time.RFC3339Nano, e.Time); err == nil {
+			ts = t.Format("15:04:05.000")
+		}
+		corr := e.Corr
+		if corr == "" {
+			corr = "-"
+		}
+		actor := e.Actor
+		if actor == "" {
+			actor = "-"
+		}
+		fmt.Fprintf(w, "%s  hlc=%016x  %-10s %-18s corr=%s  actor=%s", ts, e.HLC, e.Silo, e.Kind, corr, actor)
+		if e.Detail != "" {
+			fmt.Fprintf(w, "  %s", e.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "— %d events, causally ordered (HLC, ties by silo/seq) —\n", len(events))
+}

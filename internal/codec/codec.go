@@ -56,8 +56,13 @@ type Frame struct {
 	TraceID      uint64
 	ParentSpan   uint64
 	TraceSampled bool
-	Payload      any
-	Err          string // set when Kind == FrameError
+	// HLC is the sender's hybrid-logical-clock stamp (zero when the
+	// sender records no flight journal). A flat uint64 for the same
+	// dependency-free reason as the trace fields; receivers merge it into
+	// their own clock so cross-silo events get a causal order.
+	HLC     uint64
+	Payload any
+	Err     string // set when Kind == FrameError
 	// Redirect carries a wrong-silo redirect across the wire: the target
 	// silo the caller should re-route to. Typed errors do not survive gob
 	// (errors collapse to Err strings), so the redirect travels as its

@@ -12,6 +12,7 @@ import (
 
 	"aodb/internal/capacity"
 	"aodb/internal/directory"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/telemetry"
 )
@@ -168,6 +169,13 @@ func (a *activation) turn(env envelope) (panicked error) {
 			tm = new(capacity.TurnTiming)
 		}
 	}
+	// The flight recorder needs wall time per turn to spot SLO breaches;
+	// disabled it pays exactly this one check.
+	jr := a.silo.rt.journal
+	journaling := jr.Enabled()
+	if journaling && turnStart.IsZero() {
+		turnStart = a.silo.rt.clk.Now()
+	}
 	timeExec := sp != nil || profiling
 	cost := a.silo.rt.costOf(a.id, env.msg)
 	var turnErr error
@@ -211,7 +219,17 @@ func (a *activation) turn(env envelope) (panicked error) {
 		prof.ObserveTurn(a.id.String(), a.id.Kind, a.silo.name, tm.Burn+execDur, profDepth)
 	}
 	if !turnStart.IsZero() {
-		tr.ObserveTurn(a.id.Kind, a.silo.rt.clk.Since(turnStart))
+		turnDur := a.silo.rt.clk.Since(turnStart)
+		if tr.Enabled() {
+			tr.ObserveTurn(a.id.Kind, turnDur)
+		}
+		if journaling {
+			corr := env.trace.TraceID
+			if panicked != nil {
+				jr.Record(journal.ActorPanic, a.id.String(), corr, "turn panicked")
+			}
+			jr.ObserveTurn(a.id.String(), corr, turnDur)
+		}
 	}
 	a.silo.metrics.Counter("core.turns").Inc()
 	return panicked

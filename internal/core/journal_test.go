@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"aodb/internal/journal"
+	"aodb/internal/kvstore"
+	"aodb/internal/telemetry"
+)
+
+// TestMigrateJournalContinuity: one migration's flight-recorder events —
+// prepare, drain, activate — must share a single correlation id and land
+// in causal (HLC) order, so a merged timeline reads the hand-off as one
+// operation rather than three coincidences.
+func TestMigrateJournalContinuity(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	jr := journal.New(journal.Config{Silo: "proc-1"})
+	jr.SetEnabled(true)
+	rt := newTestRuntime(t, Config{Store: kv, Journal: jr})
+	registerCounter(t, rt, WithPersistence(PersistOnDeactivate))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Counter", "journaled"}
+	if _, err := rt.Call(ctx, id, addMsg{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := rt.Directory().Lookup(id.String())
+	dst := "silo-1"
+	if reg.Silo == dst {
+		dst = "silo-2"
+	}
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+
+	var prepare, drain, activate *journal.WireEvent
+	for _, e := range jr.WireSnapshot() {
+		if e.Actor != id.String() {
+			continue
+		}
+		e := e
+		switch e.Kind {
+		case "migrate-prepare":
+			prepare = &e
+		case "migrate-drain":
+			drain = &e
+		case "migrate-activate":
+			activate = &e
+		}
+	}
+	if prepare == nil || drain == nil || activate == nil {
+		t.Fatalf("missing migration phases: prepare=%v drain=%v activate=%v", prepare, drain, activate)
+	}
+	if prepare.Corr == "" {
+		t.Fatal("migration events must carry a correlation id")
+	}
+	if drain.Corr != prepare.Corr || activate.Corr != prepare.Corr {
+		t.Fatalf("phases must share one correlation id: prepare=%s drain=%s activate=%s",
+			prepare.Corr, drain.Corr, activate.Corr)
+	}
+	// Cause sorts before effect: the HLC strictly advances through the
+	// phases (Record mints a fresh stamp, so equality would mean a phase
+	// was recorded out of order).
+	if !(prepare.HLC < drain.HLC && drain.HLC < activate.HLC) {
+		t.Fatalf("phases out of causal order: prepare=%d drain=%d activate=%d",
+			prepare.HLC, drain.HLC, activate.HLC)
+	}
+}
+
+// TestMigrateTraceContextSurvives: a traced call before and after a
+// migration must both produce spans — the tracer's context propagation
+// does not break when the actor changes homes mid-stream.
+func TestMigrateTraceContextSurvives(t *testing.T) {
+	kv, err := kvstore.Open(kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	tracer := telemetry.New(telemetry.Config{})
+	rt := newTestRuntime(t, Config{Store: kv, Tracer: tracer})
+	registerCounter(t, rt, WithPersistence(PersistOnDeactivate))
+	rt.AddSilo("silo-1", nil)
+	rt.AddSilo("silo-2", nil)
+	ctx := context.Background()
+
+	id := ID{"Counter", "traced-mover"}
+	if _, err := rt.Call(ctx, id, addMsg{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := rt.Directory().Lookup(id.String())
+	dst := "silo-1"
+	if reg.Silo == dst {
+		dst = "silo-2"
+	}
+	before := len(tracer.Spans())
+	if err := rt.Migrate(ctx, id, dst); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if _, err := rt.Call(ctx, id, addMsg{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	spans := tracer.Spans()
+	if len(spans) <= before {
+		t.Fatalf("no spans recorded after migration: %d before, %d after", before, len(spans))
+	}
+	// The post-migration turn must attribute to the new home, under a
+	// root span — the trace tree stays intact across the move.
+	found := false
+	for _, sp := range spans {
+		if sp.Kind == telemetry.KindTurn && sp.Actor == id.String() && sp.Silo == dst && sp.TraceID != 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no turn span attributed to %s on %s after migration", id, dst)
+	}
+}

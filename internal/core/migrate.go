@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aodb/internal/codec"
+	"aodb/internal/journal"
 	"aodb/internal/transport"
 )
 
@@ -33,18 +34,25 @@ type movedEntry struct {
 type migrateDrain struct {
 	Target   string
 	BudgetMs int64
+	// Corr carries the migration's flight-journal correlation id so the
+	// drain events a remote source records group with the coordinator's.
+	Corr uint64
 }
 
 // migrateActivate asks a silo to activate one actor (the second half of
 // a hand-off).
-type migrateActivate struct{}
+type migrateActivate struct {
+	Corr uint64
+}
 
 // migratePrepare asks the target silo to clear any stale redirect
 // marker for the actor before the source drains. Without this, moving
 // an actor back to a silo it previously left makes the two markers
 // point at each other and redirected calls ping-pong until their hop
 // budget runs out.
-type migratePrepare struct{}
+type migratePrepare struct {
+	Corr uint64
+}
 
 func init() {
 	codec.Register(migrateDrain{})
@@ -77,7 +85,18 @@ func (rt *Runtime) Migrate(ctx context.Context, id ID, target string) error {
 	if dead {
 		return ErrShutdown
 	}
+	// One correlation id groups every phase event of this hand-off — on
+	// this silo and, riding the RPC payloads, on the source and target —
+	// so a merged timeline shows prepare→drain→activate as one story.
+	var corr uint64
+	if rt.journal.Enabled() {
+		corr = rt.journal.NewCorr()
+	}
 	if reg, ok := rt.directory.Lookup(id.String()); ok && reg.Silo != target {
+		if corr != 0 {
+			rt.journal.Record(journal.MigratePrepare, id.String(), corr,
+				"from="+reg.Silo+" to="+target)
+		}
 		// Clear any stale marker at the target first (it may have hosted
 		// this actor before): during the drain, redirected calls must fall
 		// through to the directory there, not bounce straight back here.
@@ -86,15 +105,10 @@ func (rt *Runtime) Migrate(ctx context.Context, id ID, target string) error {
 		if tgt, hosted := rt.Silo(target); hosted {
 			tgt.clearMoved(id)
 		} else {
-			rt.cfg.Transport.Call(ctx, target, transport.Request{
-				TargetKind: MigrateKind,
-				TargetKey:  id.String(),
-				Method:     "call",
-				Payload:    migratePrepare{},
-			})
+			rt.cfg.Transport.Call(ctx, target, rt.migrateReq(id, migratePrepare{Corr: corr}))
 		}
 		if src, hosted := rt.Silo(reg.Silo); hosted {
-			if err := src.migrateOut(ctx, id, target); err != nil {
+			if err := src.migrateOut(ctx, id, target, corr); err != nil {
 				return err
 			}
 		} else {
@@ -102,12 +116,8 @@ func (rt *Runtime) Migrate(ctx context.Context, id ID, target string) error {
 			if dl, ok := ctx.Deadline(); ok {
 				budget = time.Until(dl).Milliseconds()
 			}
-			_, err := rt.cfg.Transport.Call(ctx, reg.Silo, transport.Request{
-				TargetKind: MigrateKind,
-				TargetKey:  id.String(),
-				Method:     "call",
-				Payload:    migrateDrain{Target: target, BudgetMs: budget},
-			})
+			_, err := rt.cfg.Transport.Call(ctx, reg.Silo,
+				rt.migrateReq(id, migrateDrain{Target: target, BudgetMs: budget, Corr: corr}))
 			if err != nil {
 				if !transport.IsUnreachable(err) {
 					return err
@@ -119,22 +129,32 @@ func (rt *Runtime) Migrate(ctx context.Context, id ID, target string) error {
 		}
 	}
 	if tgt, hosted := rt.Silo(target); hosted {
-		if err := tgt.activateFor(ctx, id); err != nil {
+		if err := tgt.activateFor(ctx, id, corr); err != nil {
 			return err
 		}
 	} else {
-		_, err := rt.cfg.Transport.Call(ctx, target, transport.Request{
-			TargetKind: MigrateKind,
-			TargetKey:  id.String(),
-			Method:     "call",
-			Payload:    migrateActivate{},
-		})
+		_, err := rt.cfg.Transport.Call(ctx, target, rt.migrateReq(id, migrateActivate{Corr: corr}))
 		if err != nil && !IsWrongSilo(err) {
 			return err
 		}
 	}
 	rt.metrics.Counter("core.migrations").Inc()
 	return nil
+}
+
+// migrateReq builds a MigrateKind RPC, HLC-stamped when the flight
+// recorder is on so remote phase events order after the coordinator's.
+func (rt *Runtime) migrateReq(id ID, payload any) transport.Request {
+	req := transport.Request{
+		TargetKind: MigrateKind,
+		TargetKey:  id.String(),
+		Method:     "call",
+		Payload:    payload,
+	}
+	if rt.journal.Enabled() {
+		req.HLC = uint64(rt.journal.Now())
+	}
+	return req
 }
 
 // handleMigrate serves MigrateKind RPCs (registered in New), dispatching
@@ -156,9 +176,9 @@ func (rt *Runtime) handleMigrate(ctx context.Context, silo string, req transport
 			dctx, cancel = context.WithTimeout(ctx, time.Duration(p.BudgetMs)*time.Millisecond)
 			defer cancel()
 		}
-		return nil, s.migrateOut(dctx, id, p.Target)
+		return nil, s.migrateOut(dctx, id, p.Target, p.Corr)
 	case migrateActivate:
-		return nil, s.activateFor(ctx, id)
+		return nil, s.activateFor(ctx, id, p.Corr)
 	case migratePrepare:
 		s.clearMoved(id)
 		return nil, nil
@@ -174,7 +194,7 @@ func (rt *Runtime) handleMigrate(ctx context.Context, silo string, req transport
 // register. The marker is placed before the drain so calls racing the
 // hand-off queue onto the draining mailbox (failing over to the
 // redirect once it closes) rather than re-activating here.
-func (s *Silo) migrateOut(ctx context.Context, id ID, target string) error {
+func (s *Silo) migrateOut(ctx context.Context, id ID, target string, corr uint64) error {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
@@ -193,11 +213,18 @@ func (s *Silo) migrateOut(ctx context.Context, id ID, target string) error {
 	select {
 	case <-act.drained:
 		s.metrics.Counter("core.migrations.out").Inc()
+		if s.rt.journal.Enabled() {
+			s.rt.journal.Record(journal.MigrateDrain, id.String(), corr, "to="+target)
+		}
 		return nil
 	case <-ctx.Done():
 		act.fenced.Store(true)
 		s.rt.directory.Unregister(act.reg)
 		s.metrics.Counter("core.migrations.forced").Inc()
+		if s.rt.journal.Enabled() {
+			s.rt.journal.Record(journal.MigrateForced, id.String(), corr,
+				"to="+target+" (laggard fenced)")
+		}
 		return nil
 	}
 }
@@ -214,7 +241,7 @@ func (s *Silo) clearMoved(id ID) {
 // resolve path, so the registration race and state load behave exactly
 // as they would for an incoming call. Losing the race to a third silo
 // is fine — the actor is live, which is all a migration guarantees.
-func (s *Silo) activateFor(ctx context.Context, id ID) error {
+func (s *Silo) activateFor(ctx context.Context, id ID, corr uint64) error {
 	s.mu.Lock()
 	delete(s.moved, id)
 	_, existed := s.catalog[id]
@@ -227,6 +254,9 @@ func (s *Silo) activateFor(ctx context.Context, id ID) error {
 	}
 	if !existed {
 		s.metrics.Counter("core.migrations.in").Inc()
+		if s.rt.journal.Enabled() {
+			s.rt.journal.Record(journal.MigrateActivate, id.String(), corr, "")
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"aodb/internal/capacity"
 	"aodb/internal/clock"
 	"aodb/internal/directory"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/placement"
@@ -130,6 +131,11 @@ type Config struct {
 	// counts, mailbox high-water marks, state sizes) under the same
 	// contract: nil or disabled costs one nil-or-atomic check per turn.
 	Profiler *telemetry.ActorProfiler
+	// Journal enables the cluster flight recorder: HLC stamps on every
+	// envelope and cross-silo request, plus structured events (migration
+	// phases, slow turns, panics) in a bounded ring. Same contract: nil
+	// or disabled costs one nil-or-atomic check per message.
+	Journal *journal.Journal
 }
 
 // Runtime is an actor-oriented database instance: a set of silos, a grain
@@ -142,6 +148,7 @@ type Runtime struct {
 	metrics   *metrics.Registry
 	tracer    *telemetry.Tracer        // nil = tracing off
 	profiler  *telemetry.ActorProfiler // nil = profiling off
+	journal   *journal.Journal         // nil = flight recorder off
 	states    StateStore               // nil = no persistence
 	reminders *systemstore.Store
 
@@ -193,6 +200,7 @@ func New(cfg Config) (*Runtime, error) {
 		metrics:   cfg.Metrics,
 		tracer:    cfg.Tracer,
 		profiler:  cfg.Profiler,
+		journal:   cfg.Journal,
 		kinds:     make(map[string]*kindConfig),
 		silos:     make(map[string]*Silo),
 	}
@@ -423,6 +431,9 @@ func (rt *Runtime) Tracer() *telemetry.Tracer { return rt.tracer }
 // not configured.
 func (rt *Runtime) Profiler() *telemetry.ActorProfiler { return rt.profiler }
 
+// Journal exposes the runtime's flight recorder; nil when not configured.
+func (rt *Runtime) Journal() *journal.Journal { return rt.journal }
+
 // Clock exposes the runtime clock.
 func (rt *Runtime) Clock() clock.Clock { return rt.clk }
 
@@ -607,6 +618,10 @@ func (rt *Runtime) routeOnce(ctx context.Context, callerSilo string, chain []str
 		Chain:      chain,
 		Trace:      trace,
 	}
+	// No HLC stamp here: in-process deliveries share this runtime's
+	// clock already, and the TCP transport stamps frames that actually
+	// leave the process (TCPOptions.StampHLC) — so the hot local path
+	// pays no clock work even with the recorder on.
 	// One-way sends also travel as transport calls: the reply just
 	// acknowledges the enqueue, not the turn. This keeps Tell reliable
 	// when the target silo loses an activation race and the message

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"aodb/internal/capacity"
+	"aodb/internal/clock"
 	"aodb/internal/directory"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
@@ -65,6 +66,14 @@ func (s *Silo) Activations() int {
 // handle is the transport-facing entry point for messages addressed to
 // actors this silo should host.
 func (s *Silo) handle(ctx context.Context, req transport.Request) (any, error) {
+	// Merge the sender's HLC stamp before anything else runs, so every
+	// event this delivery causes — service RPCs included — orders after
+	// the send. One atomic load when the flight recorder is off.
+	var hlc clock.HLC
+	if s.rt.journal.Enabled() && req.HLC != 0 {
+		hlc = clock.HLC(req.HLC)
+		s.rt.journal.Observe(hlc)
+	}
 	// Reserved service kinds (replication RPCs) bypass actor resolution;
 	// a runtime with no services pays one atomic load and a nil check.
 	if h := s.rt.service(req.TargetKind); h != nil {
@@ -74,12 +83,12 @@ func (s *Silo) handle(ctx context.Context, req transport.Request) (any, error) {
 	// An empty sender is an external client; both that and another silo's
 	// name count as a remote hop for trace attribution.
 	remote := req.Sender != s.name
-	return s.deliver(ctx, id, req.Payload, req.Method != "tell", req.Chain, req.Trace, remote)
+	return s.deliver(ctx, id, req.Payload, req.Method != "tell", req.Chain, req.Trace, remote, hlc)
 }
 
 // deliver routes one message to the actor's activation, creating it if
 // needed, and waits for the reply when needReply is set.
-func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chain []string, trace telemetry.SpanContext, remote bool) (any, error) {
+func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chain []string, trace telemetry.SpanContext, remote bool, hlc clock.HLC) (any, error) {
 	var reply chan turnResult
 	turnCtx := ctx
 	if needReply {
@@ -89,7 +98,7 @@ func (s *Silo) deliver(ctx context.Context, id ID, msg any, needReply bool, chai
 		// must not be cancelled when the sender moves on.
 		turnCtx = context.WithoutCancel(ctx)
 	}
-	env := envelope{ctx: turnCtx, msg: msg, reply: reply, chain: chain}
+	env := envelope{ctx: turnCtx, msg: msg, reply: reply, chain: chain, hlc: hlc}
 	if s.rt.tracer.Enabled() { // the one check disabled telemetry costs here
 		env.trace = trace
 		env.remote = remote

@@ -75,8 +75,13 @@ func (s State) String() string {
 
 // Member is one silo as this agent currently believes it to be.
 type Member struct {
-	Name        string
-	Addr        string
+	Name string
+	Addr string
+	// ObsAddr is the member's advertised observability endpoint (its
+	// introspection HTTP listener), piggybacked with membership rumors so
+	// an aggregator can discover scrape targets from the gossip view
+	// alone. Empty when the member exposes none.
+	ObsAddr     string
 	State       State
 	Incarnation uint64
 	// Load is the member's self-reported load figure (the cluster
@@ -89,6 +94,7 @@ type Member struct {
 type Update struct {
 	Name        string
 	Addr        string
+	ObsAddr     string
 	State       uint8
 	Incarnation uint64
 }
@@ -140,6 +146,10 @@ type Config struct {
 	// (piggybacked so joiners can learn routes from gossip alone).
 	Name string
 	Addr string
+	// ObsAddr is this silo's advertised observability endpoint, gossiped
+	// alongside Addr so aggregators discover scrape targets from the
+	// membership view. Empty when the silo runs no introspection server.
+	ObsAddr string
 	// Transport carries gossip messages (reserved kind "!gossip").
 	Transport Caller
 	// Seeds are name=addr pairs probed at Start to join an existing
@@ -288,9 +298,9 @@ func New(cfg Config) (*Agent, error) {
 	if !cfg.Observer {
 		a.incarnation = 1
 		a.members[cfg.Name] = &memberState{Member: Member{
-			Name: cfg.Name, Addr: cfg.Addr, State: StateAlive, Incarnation: 1,
+			Name: cfg.Name, Addr: cfg.Addr, ObsAddr: cfg.ObsAddr, State: StateAlive, Incarnation: 1,
 		}}
-		a.enqueueLocked(Update{Name: cfg.Name, Addr: cfg.Addr, State: uint8(StateAlive), Incarnation: 1})
+		a.enqueueLocked(Update{Name: cfg.Name, Addr: cfg.Addr, ObsAddr: cfg.ObsAddr, State: uint8(StateAlive), Incarnation: 1})
 		a.gIncarnation.Set(1)
 	}
 	a.refreshGaugesLocked()
@@ -618,7 +628,7 @@ func (a *Agent) applyLocked(u Update) {
 			self.State = StateAlive
 			self.Incarnation = a.incarnation
 			a.mRefutes.Inc()
-			a.enqueueLocked(Update{Name: a.cfg.Name, Addr: a.cfg.Addr, State: uint8(StateAlive), Incarnation: a.incarnation})
+			a.enqueueLocked(Update{Name: a.cfg.Name, Addr: a.cfg.Addr, ObsAddr: a.cfg.ObsAddr, State: uint8(StateAlive), Incarnation: a.incarnation})
 		} else if State(u.State) == StateAlive && u.Incarnation > a.incarnation {
 			a.incarnation = u.Incarnation
 			a.gIncarnation.Set(int64(a.incarnation))
@@ -632,7 +642,7 @@ func (a *Agent) applyLocked(u Update) {
 		if State(u.State) == StateDead || State(u.State) == StateLeft {
 			// Don't resurrect-by-forgetting: remember the death so later
 			// stale alive rumors at ≤ incarnation stay suppressed.
-			m = &memberState{Member: Member{Name: u.Name, Addr: u.Addr, State: State(u.State), Incarnation: u.Incarnation}}
+			m = &memberState{Member: Member{Name: u.Name, Addr: u.Addr, ObsAddr: u.ObsAddr, State: State(u.State), Incarnation: u.Incarnation}}
 			a.members[u.Name] = m
 			a.enqueueLocked(u)
 			a.noteChangeLocked(m, nil)
@@ -642,14 +652,17 @@ func (a *Agent) applyLocked(u Update) {
 		if inc == 0 {
 			inc = 1
 		}
-		m = &memberState{Member: Member{Name: u.Name, Addr: u.Addr, State: StateAlive, Incarnation: inc}}
+		m = &memberState{Member: Member{Name: u.Name, Addr: u.Addr, ObsAddr: u.ObsAddr, State: StateAlive, Incarnation: inc}}
 		a.members[u.Name] = m
-		a.enqueueLocked(Update{Name: u.Name, Addr: u.Addr, State: uint8(StateAlive), Incarnation: inc})
+		a.enqueueLocked(Update{Name: u.Name, Addr: u.Addr, ObsAddr: u.ObsAddr, State: uint8(StateAlive), Incarnation: inc})
 		a.noteChangeLocked(m, nil)
 		return
 	}
 	if u.Addr != "" && m.Addr == "" {
 		m.Addr = u.Addr
+	}
+	if u.ObsAddr != "" && m.ObsAddr == "" {
+		m.ObsAddr = u.ObsAddr
 	}
 	prev := m.Member
 	switch State(u.State) {
@@ -684,7 +697,7 @@ func (a *Agent) applyLocked(u Update) {
 		}
 	}
 	if m.State != prev.State || m.Incarnation != prev.Incarnation {
-		a.enqueueLocked(Update{Name: m.Name, Addr: m.Addr, State: uint8(m.State), Incarnation: m.Incarnation})
+		a.enqueueLocked(Update{Name: m.Name, Addr: m.Addr, ObsAddr: m.ObsAddr, State: uint8(m.State), Incarnation: m.Incarnation})
 		if m.State != prev.State {
 			a.noteChangeLocked(m, &prev)
 		}
@@ -789,7 +802,7 @@ func (a *Agent) piggybackLocked() []Update {
 func (a *Agent) fullStateLocked() []Update {
 	out := make([]Update, 0, len(a.members))
 	for _, m := range a.members {
-		out = append(out, Update{Name: m.Name, Addr: m.Addr, State: uint8(m.State), Incarnation: m.Incarnation})
+		out = append(out, Update{Name: m.Name, Addr: m.Addr, ObsAddr: m.ObsAddr, State: uint8(m.State), Incarnation: m.Incarnation})
 	}
 	return out
 }

@@ -1,0 +1,456 @@
+// Package journal is the cluster flight recorder: a bounded, lock-light
+// per-silo ring of structured events (membership transitions, migration
+// phases, quorum outcomes, hinted-handoff activity, breaker trips, slow
+// turns, WAL flush stalls), each stamped with a hybrid logical clock so
+// the rings of many silos can be merged into one causally ordered
+// timeline after the fact.
+//
+// The journal follows the telemetry tracer's instrumentation contract: a
+// nil or disabled journal costs exactly one nil-or-atomic check at every
+// call site, so production runs idle with the recorder off and flip it on
+// when an incident needs reconstructing. Anomalies (quorum loss, actor
+// panics, members declared dead, SLO-breaching turns) freeze a snapshot
+// of the ring to disk so the interesting window survives wraparound.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aodb/internal/clock"
+)
+
+// Kind classifies a flight-recorder event.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+	MemberJoin
+	MemberSuspect
+	MemberDead
+	RingChange
+	MigratePrepare
+	MigrateDrain
+	MigrateForced
+	MigrateActivate
+	QuorumWrite
+	QuorumWriteFail
+	QuorumRead
+	QuorumReadFail
+	HintRecorded
+	HintReplayed
+	BreakerTrip
+	SlowTurn
+	ActorPanic
+	WALStall
+	Captured
+)
+
+var kindNames = map[Kind]string{
+	MemberJoin:      "member-join",
+	MemberSuspect:   "member-suspect",
+	MemberDead:      "member-dead",
+	RingChange:      "ring-change",
+	MigratePrepare:  "migrate-prepare",
+	MigrateDrain:    "migrate-drain",
+	MigrateForced:   "migrate-forced",
+	MigrateActivate: "migrate-activate",
+	QuorumWrite:     "quorum-write",
+	QuorumWriteFail: "quorum-write-fail",
+	QuorumRead:      "quorum-read",
+	QuorumReadFail:  "quorum-read-fail",
+	HintRecorded:    "hint-recorded",
+	HintReplayed:    "hint-replayed",
+	BreakerTrip:     "breaker-trip",
+	SlowTurn:        "slow-turn",
+	ActorPanic:      "panic",
+	WALStall:        "wal-stall",
+	Captured:        "captured",
+}
+
+// String returns the kind's wire name (used in /events JSON and filters).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind-%d", uint8(k))
+}
+
+// ParseKind maps a wire name back to its Kind (KindUnknown if unknown).
+func ParseKind(s string) Kind {
+	for k, name := range kindNames {
+		if name == s {
+			return k
+		}
+	}
+	return KindUnknown
+}
+
+// anomalous kinds trigger an automatic ring capture when recorded: they
+// are exactly the events whose surrounding window someone will want to
+// reconstruct after the fact.
+func (k Kind) anomalous() bool {
+	switch k {
+	case QuorumWriteFail, QuorumReadFail, ActorPanic, MemberDead:
+		return true
+	}
+	return false
+}
+
+// Event is one recorded flight-recorder entry.
+type Event struct {
+	// HLC orders this event causally against events from other silos.
+	HLC clock.HLC
+	// Seq is the silo-local record sequence, a stable tiebreak for events
+	// sharing an HLC value in a merged timeline.
+	Seq uint64
+	// Silo names the recording silo.
+	Silo string
+	// Kind classifies the event.
+	Kind Kind
+	// Actor is the affected actor or key ("" when not actor-scoped).
+	Actor string
+	// Corr groups the events of one logical operation (a migration, a
+	// quorum write) across silos; zero means uncorrelated.
+	Corr uint64
+	// Detail is a short free-form annotation.
+	Detail string
+}
+
+// WireEvent is the JSON form served by /events, merged by internal/obs,
+// and written to capture files. HLC stays a raw uint64 so merge sorting
+// needs no parsing; Time is the human-readable physical component.
+type WireEvent struct {
+	HLC    uint64 `json:"hlc"`
+	Seq    uint64 `json:"seq"`
+	Time   string `json:"time"`
+	Silo   string `json:"silo"`
+	Kind   string `json:"kind"`
+	Actor  string `json:"actor,omitempty"`
+	Corr   string `json:"corr,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Wire converts an event to its JSON form.
+func (e Event) Wire() WireEvent {
+	w := WireEvent{
+		HLC:    uint64(e.HLC),
+		Seq:    e.Seq,
+		Time:   e.HLC.Time().Format(time.RFC3339Nano),
+		Silo:   e.Silo,
+		Kind:   e.Kind.String(),
+		Actor:  e.Actor,
+		Detail: e.Detail,
+	}
+	if e.Corr != 0 {
+		w.Corr = fmt.Sprintf("%016x", e.Corr)
+	}
+	return w
+}
+
+// Merge combines per-silo event sets into one causally ordered timeline:
+// ascending HLC, ties broken by silo name then sequence. Inputs need not
+// be sorted.
+func Merge(sets ...[]WireEvent) []WireEvent {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	out := make([]WireEvent, 0, total)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].HLC != out[j].HLC {
+			return out[i].HLC < out[j].HLC
+		}
+		if out[i].Silo != out[j].Silo {
+			return out[i].Silo < out[j].Silo
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Config configures a Journal. The zero value (plus a silo name) is
+// usable: a 4096-slot ring, real clock, capture disabled.
+type Config struct {
+	// Silo names the recording silo (stamped on every event).
+	Silo string
+	// Clock drives the HLC's physical component (default: real clock).
+	Clock clock.Clock
+	// Size is the ring capacity in events (default 4096).
+	Size int
+	// CaptureDir, when set, enables anomaly-triggered capture: quorum
+	// loss, actor panics, members declared dead, and SLO-breaching turns
+	// freeze a snapshot of the ring to a JSON file in this directory.
+	CaptureDir string
+	// CaptureMax bounds capture files written per process (default 8), so
+	// a flapping anomaly cannot fill the disk.
+	CaptureMax int
+	// SlowTurn is the turn duration recorded as a slow-turn event
+	// (default 250ms, matching the tracer's slow-turn detector).
+	SlowTurn time.Duration
+	// SLOTurn is the turn duration treated as an SLO breach, triggering a
+	// capture (default 10×SlowTurn; <0 disables breach captures).
+	SLOTurn time.Duration
+	// OnCapture, when set, is called after each capture file is written
+	// (tests and logging).
+	OnCapture func(path, reason string)
+}
+
+// slot is one ring entry. Writers claim a slot by atomic counter and
+// publish under the slot's own mutex, so concurrent recorders contend
+// only when they collide on the same slot — i.e. a full ring-size apart.
+type slot struct {
+	mu   sync.Mutex
+	ev   Event
+	full bool
+}
+
+// Journal is one silo's flight recorder.
+type Journal struct {
+	enabled atomic.Bool
+	cfg     Config
+	hlc     *clock.HLCSource
+	seq     atomic.Uint64
+	corr    atomic.Uint64
+	slots   []slot
+
+	captures  atomic.Int32
+	captureMu sync.Mutex // one capture writes at a time; TryLock drops extras
+}
+
+// New creates a journal (initially disabled; call SetEnabled).
+func New(cfg Config) *Journal {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.Size <= 0 {
+		cfg.Size = 4096
+	}
+	if cfg.CaptureMax <= 0 {
+		cfg.CaptureMax = 8
+	}
+	if cfg.SlowTurn <= 0 {
+		cfg.SlowTurn = 250 * time.Millisecond
+	}
+	if cfg.SLOTurn == 0 {
+		cfg.SLOTurn = 10 * cfg.SlowTurn
+	}
+	j := &Journal{
+		cfg:   cfg,
+		hlc:   clock.NewHLC(cfg.Clock),
+		slots: make([]slot, cfg.Size),
+	}
+	// Correlation ids must not collide across silos that all start their
+	// counters at zero, so fold the silo name into the id space.
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(cfg.Silo); i++ {
+		h ^= uint64(cfg.Silo[i])
+		h *= 1099511628211
+	}
+	j.corr.Store(h)
+	return j
+}
+
+// Enabled reports whether the journal records events. Nil-receiver safe:
+// this one check is all a disabled journal costs at a call site.
+func (j *Journal) Enabled() bool { return j != nil && j.enabled.Load() }
+
+// SetEnabled flips recording on or off.
+func (j *Journal) SetEnabled(on bool) {
+	if j != nil {
+		j.enabled.Store(on)
+	}
+}
+
+// Silo returns the recording silo's name ("" on nil).
+func (j *Journal) Silo() string {
+	if j == nil {
+		return ""
+	}
+	return j.cfg.Silo
+}
+
+// Now mints an HLC timestamp for an outbound message so the receiver can
+// merge it (stamp envelopes and frames with this).
+func (j *Journal) Now() clock.HLC {
+	if j == nil {
+		return 0
+	}
+	return j.hlc.Now()
+}
+
+// Observe merges an inbound message's HLC stamp into this silo's clock.
+func (j *Journal) Observe(remote clock.HLC) {
+	if j == nil || remote.IsZero() {
+		return
+	}
+	j.hlc.Observe(remote)
+}
+
+// NewCorr mints a correlation id grouping one logical operation's events.
+func (j *Journal) NewCorr() uint64 {
+	if j == nil {
+		return 0
+	}
+	// splitmix64 over a per-silo-seeded counter: unique, cheap, and
+	// uncoordinated across silos.
+	z := j.corr.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SlowTurnThreshold returns the duration past which a turn should be
+// recorded (callers check it before building the event).
+func (j *Journal) SlowTurnThreshold() time.Duration {
+	if j == nil {
+		return 0
+	}
+	return j.cfg.SlowTurn
+}
+
+// Record appends one event to the ring (dropped when disabled). The
+// HLC stamp and silo name are filled in here.
+func (j *Journal) Record(kind Kind, actor string, corr uint64, detail string) {
+	if !j.Enabled() {
+		return
+	}
+	ev := Event{
+		HLC:    j.hlc.Now(),
+		Seq:    j.seq.Add(1),
+		Silo:   j.cfg.Silo,
+		Kind:   kind,
+		Actor:  actor,
+		Corr:   corr,
+		Detail: detail,
+	}
+	s := &j.slots[(ev.Seq-1)%uint64(len(j.slots))]
+	s.mu.Lock()
+	s.ev = ev
+	s.full = true
+	s.mu.Unlock()
+	if kind.anomalous() {
+		j.captureAsync(kind.String())
+	}
+}
+
+// ObserveTurn records a slow-turn event when d crosses the threshold and
+// captures the ring when it breaches the SLO. Call only when Enabled.
+func (j *Journal) ObserveTurn(actor string, corr uint64, d time.Duration) {
+	if !j.Enabled() || d < j.cfg.SlowTurn {
+		return
+	}
+	j.Record(SlowTurn, actor, corr, fmt.Sprintf("turn took %v", d.Round(time.Microsecond)))
+	if j.cfg.SLOTurn > 0 && d >= j.cfg.SLOTurn {
+		j.captureAsync("slo-breach")
+	}
+}
+
+// Snapshot returns the ring's current events, oldest first (silo-local
+// order: ascending sequence).
+func (j *Journal) Snapshot() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(j.slots))
+	for i := range j.slots {
+		s := &j.slots[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// WireSnapshot returns the ring in /events JSON form.
+func (j *Journal) WireSnapshot() []WireEvent {
+	evs := j.Snapshot()
+	out := make([]WireEvent, len(evs))
+	for i, e := range evs {
+		out[i] = e.Wire()
+	}
+	return out
+}
+
+// captureFile is the on-disk capture format.
+type captureFile struct {
+	Silo     string      `json:"silo"`
+	Reason   string      `json:"reason"`
+	Captured string      `json:"captured"`
+	HLC      uint64      `json:"hlc"`
+	Events   []WireEvent `json:"events"`
+}
+
+// captureAsync freezes the ring to disk off the recording path. Extra
+// triggers racing an in-flight capture are dropped — the ring they would
+// snapshot is the same one.
+func (j *Journal) captureAsync(reason string) {
+	if j.cfg.CaptureDir == "" {
+		return
+	}
+	if j.captures.Load() >= int32(j.cfg.CaptureMax) {
+		return
+	}
+	if !j.captureMu.TryLock() {
+		return
+	}
+	go func() {
+		defer j.captureMu.Unlock()
+		_, _ = j.Capture(reason)
+	}()
+}
+
+// Capture writes a snapshot of the ring to CaptureDir and returns the
+// file path. It respects the CaptureMax budget; callers wanting an
+// unconditional dump can read Snapshot themselves.
+func (j *Journal) Capture(reason string) (string, error) {
+	if j == nil || j.cfg.CaptureDir == "" {
+		return "", fmt.Errorf("journal: no capture directory configured")
+	}
+	n := j.captures.Add(1)
+	if n > int32(j.cfg.CaptureMax) {
+		return "", fmt.Errorf("journal: capture budget (%d) exhausted", j.cfg.CaptureMax)
+	}
+	if err := os.MkdirAll(j.cfg.CaptureDir, 0o755); err != nil {
+		return "", err
+	}
+	now := j.hlc.Now()
+	cf := captureFile{
+		Silo:     j.cfg.Silo,
+		Reason:   reason,
+		Captured: now.Time().Format(time.RFC3339Nano),
+		HLC:      uint64(now),
+		Events:   j.WireSnapshot(),
+	}
+	data, err := json.MarshalIndent(cf, "", " ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(j.cfg.CaptureDir, fmt.Sprintf("flight-%s-%03d-%s.json", j.cfg.Silo, n, reason))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", err
+	}
+	// The capture itself is part of the story: record it so a merged
+	// timeline shows when and why the window was frozen.
+	j.Record(Captured, "", 0, reason)
+	if j.cfg.OnCapture != nil {
+		j.cfg.OnCapture(path, reason)
+	}
+	return path, nil
+}

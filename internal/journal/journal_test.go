@@ -1,0 +1,224 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aodb/internal/clock"
+)
+
+func TestDisabledAndNilAreNoOps(t *testing.T) {
+	var nilJ *Journal
+	if nilJ.Enabled() {
+		t.Fatal("nil journal must report disabled")
+	}
+	nilJ.Record(MemberDead, "a", 1, "x") // must not panic
+	nilJ.Observe(5)
+	nilJ.SetEnabled(true)
+	if nilJ.Snapshot() != nil {
+		t.Fatal("nil snapshot should be nil")
+	}
+
+	j := New(Config{Silo: "s1"})
+	j.Record(MemberDead, "a", 1, "dropped while disabled")
+	if got := j.Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled journal recorded %d events", len(got))
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	j := New(Config{Silo: "s1", Clock: fake, Size: 8})
+	j.SetEnabled(true)
+	corr := j.NewCorr()
+	j.Record(MigratePrepare, "Sensor/1", corr, "target=s2")
+	j.Record(MigrateDrain, "Sensor/1", corr, "")
+	j.Record(MigrateActivate, "Sensor/1", corr, "")
+	evs := j.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].HLC <= evs[i-1].HLC {
+			t.Fatalf("events not HLC-ordered: %v then %v", evs[i-1].HLC, evs[i].HLC)
+		}
+		if evs[i].Corr != corr {
+			t.Fatalf("correlation id lost: %x", evs[i].Corr)
+		}
+	}
+	if evs[0].Kind != MigratePrepare || evs[2].Kind != MigrateActivate {
+		t.Fatalf("order wrong: %v", evs)
+	}
+	if evs[0].Silo != "s1" {
+		t.Fatalf("silo not stamped: %q", evs[0].Silo)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	j := New(Config{Silo: "s1", Size: 4})
+	j.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		j.Record(SlowTurn, "", 0, "")
+	}
+	evs := j.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 holds %d", len(evs))
+	}
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("expected seqs 7..10, got %d..%d", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	j := New(Config{Silo: "s1", Size: 64})
+	j.SetEnabled(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				j.Record(QuorumWrite, "k", 0, "")
+			}
+		}()
+	}
+	wg.Wait()
+	evs := j.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("full ring should hold 64, got %d", len(evs))
+	}
+}
+
+func TestMergeOrdersAcrossSilos(t *testing.T) {
+	fa := clock.NewFake(time.Unix(1000, 0))
+	a := New(Config{Silo: "a", Clock: fa})
+	b := New(Config{Silo: "b", Clock: fa})
+	a.SetEnabled(true)
+	b.SetEnabled(true)
+
+	a.Record(MemberSuspect, "", 0, "peer=b")
+	// b learns of a's progress (message receipt merges the clock), so b's
+	// next event must sort after a's even with identical physical time.
+	b.Observe(a.Now())
+	b.Record(MemberDead, "", 0, "peer=x")
+
+	merged := Merge(a.WireSnapshot(), b.WireSnapshot())
+	if len(merged) != 2 {
+		t.Fatalf("want 2 merged, got %d", len(merged))
+	}
+	if merged[0].Kind != "member-suspect" || merged[1].Kind != "member-dead" {
+		t.Fatalf("causal order lost: %v", merged)
+	}
+}
+
+func TestNewCorrUniqueAcrossSilos(t *testing.T) {
+	a := New(Config{Silo: "a"})
+	b := New(Config{Silo: "b"})
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		for _, j := range []*Journal{a, b} {
+			c := j.NewCorr()
+			if c == 0 || seen[c] {
+				t.Fatalf("correlation collision or zero: %x", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestAnomalyTriggersCapture(t *testing.T) {
+	dir := t.TempDir()
+	done := make(chan string, 1)
+	j := New(Config{Silo: "s1", CaptureDir: dir, OnCapture: func(path, reason string) {
+		done <- path
+	}})
+	j.SetEnabled(true)
+	j.Record(QuorumWrite, "k1", 7, "ok")
+	j.Record(QuorumWriteFail, "k2", 8, "lost quorum: 1/2 acks")
+
+	var path string
+	select {
+	case path = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("anomaly capture never fired")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf captureFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatalf("capture not valid JSON: %v", err)
+	}
+	if cf.Silo != "s1" || cf.Reason != "quorum-write-fail" {
+		t.Fatalf("capture header wrong: %+v", cf)
+	}
+	if len(cf.Events) < 2 {
+		t.Fatalf("capture missing ring contents: %d events", len(cf.Events))
+	}
+	found := false
+	for _, e := range cf.Events {
+		if e.Kind == "quorum-write-fail" && strings.Contains(e.Detail, "lost quorum") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("capture does not contain the triggering event")
+	}
+}
+
+func TestCaptureBudget(t *testing.T) {
+	dir := t.TempDir()
+	j := New(Config{Silo: "s1", CaptureDir: dir, CaptureMax: 2})
+	j.SetEnabled(true)
+	for i := 0; i < 5; i++ {
+		if _, err := j.Capture("manual"); err != nil && i < 2 {
+			t.Fatalf("capture %d failed: %v", i, err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if len(files) != 2 {
+		t.Fatalf("budget of 2 produced %d files", len(files))
+	}
+}
+
+func TestSlowTurnAndSLOBreach(t *testing.T) {
+	dir := t.TempDir()
+	done := make(chan string, 1)
+	j := New(Config{
+		Silo: "s1", SlowTurn: 10 * time.Millisecond, SLOTurn: 100 * time.Millisecond,
+		CaptureDir: dir,
+		OnCapture:  func(_, reason string) { done <- reason },
+	})
+	j.SetEnabled(true)
+	j.ObserveTurn("Sensor/1", 0, 5*time.Millisecond) // under threshold: dropped
+	j.ObserveTurn("Sensor/1", 0, 20*time.Millisecond)
+	if evs := j.Snapshot(); len(evs) != 1 || evs[0].Kind != SlowTurn {
+		t.Fatalf("want exactly one slow-turn, got %v", evs)
+	}
+	j.ObserveTurn("Sensor/1", 0, 200*time.Millisecond) // breaches SLO
+	select {
+	case reason := <-done:
+		if reason != "slo-breach" {
+			t.Fatalf("wrong capture reason %q", reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SLO breach never captured")
+	}
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	for k := range kindNames {
+		if ParseKind(k.String()) != k {
+			t.Fatalf("kind %v does not round-trip", k)
+		}
+	}
+	if ParseKind("nope") != KindUnknown {
+		t.Fatal("unknown kind should parse to KindUnknown")
+	}
+}

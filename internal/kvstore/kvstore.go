@@ -97,6 +97,11 @@ type Options struct {
 	Clock clock.Clock
 	// Metrics receives operation counters; nil allocates a private registry.
 	Metrics *metrics.Registry
+	// FlushStallAfter and OnFlushStall pass through to the WAL: any group
+	// flush taking at least FlushStallAfter invokes OnFlushStall — how the
+	// flight journal learns about a stalling disk before it fails.
+	FlushStallAfter time.Duration
+	OnFlushStall    func(d time.Duration, records int)
 }
 
 // WriteFault is a fault-injection hook consulted before every mutation
@@ -213,6 +218,8 @@ func Open(opts Options) (*Store, error) {
 		MaxBatchRecords: opts.FlushMaxRecords,
 		MaxBatchWait:    opts.FlushMaxWait,
 		Metrics:         s.reg,
+		FlushStallAfter: opts.FlushStallAfter,
+		OnFlushStall:    opts.OnFlushStall,
 	})
 	if err != nil {
 		return nil, err

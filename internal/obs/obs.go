@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"aodb/internal/journal"
 	"aodb/internal/metrics"
 	"aodb/internal/telemetry"
 )
@@ -57,6 +59,17 @@ type Config struct {
 	// Client overrides the scrape HTTP client (tests; default 2s-timeout
 	// client).
 	Client *http.Client
+	// Discover, when set, is consulted at the start of every poll round
+	// for the current scrape targets — typically backed by a gossip
+	// observer's membership view, so the aggregator follows joins and
+	// departures with no static -silos list. Discovered targets are
+	// unioned with Targets; a target that stops being discovered keeps
+	// its last-good snapshot (marked stale via Dead or age).
+	Discover func() []Target
+	// Dead, when set, reports whether a silo is currently believed dead
+	// (gossip state dead/left). A dead silo's last-good snapshot is
+	// marked stale immediately rather than waiting out StaleAfter.
+	Dead func(name string) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -90,7 +103,10 @@ type SiloView struct {
 	// latest scrape failed; AgeSeconds says how old.
 	Stale      bool    `json:"stale,omitempty"`
 	AgeSeconds float64 `json:"age_seconds,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// Dead marks a member the membership view currently declares dead or
+	// left — its snapshot (if any) is last-known, not live.
+	Dead  bool   `json:"dead,omitempty"`
+	Error string `json:"error,omitempty"`
 
 	Snapshot *telemetry.ObsSnapshot `json:"snapshot,omitempty"`
 }
@@ -134,6 +150,9 @@ type Sample struct {
 type siloState struct {
 	target Target
 	source Source // non-nil for in-process silos
+	// events is the in-process flight-journal source (nil for remote
+	// silos, whose /events endpoint is scraped instead).
+	events func() []journal.WireEvent
 	last   *telemetry.ObsSnapshot
 	lastAt time.Time
 	err    string
@@ -173,13 +192,55 @@ func (a *Aggregator) AddLocal(name string, src Source) {
 	a.mu.Unlock()
 }
 
+// AddLocalEvents registers an in-process flight-journal source for name
+// (journal.WireSnapshot fits), merged into /cluster/events without an
+// HTTP hop. Attaches to an existing silo entry when one matches.
+func (a *Aggregator) AddLocalEvents(name string, src func() []journal.WireEvent) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range a.silos {
+		if s.target.Name == name {
+			s.events = src
+			return
+		}
+	}
+	a.silos = append(a.silos, &siloState{target: Target{Name: name}, events: src})
+}
+
+// discoverLocked folds freshly discovered targets into the silo list:
+// new names are added, and a known silo with no URL yet (or a changed
+// one) adopts the discovered address. Nothing is ever removed — a
+// departed member's last-good snapshot stays, marked stale/dead.
+func (a *Aggregator) discoverLocked(targets []Target) {
+	known := make(map[string]*siloState, len(a.silos))
+	for _, s := range a.silos {
+		known[s.target.Name] = s
+	}
+	for _, t := range targets {
+		if s, ok := known[t.Name]; ok {
+			if t.URL != "" && s.target.URL != t.URL {
+				s.target.URL = t.URL
+			}
+			continue
+		}
+		a.silos = append(a.silos, &siloState{target: t})
+	}
+}
+
 // PollOnce scrapes every silo concurrently (each under its own timeout),
 // merges what answered, and returns the resulting cluster snapshot. A
 // down or slow silo contributes its last good snapshot, marked stale; a
 // silo that has never answered contributes only an error entry. PollOnce
 // never blocks longer than the scrape timeout.
 func (a *Aggregator) PollOnce(ctx context.Context) ClusterSnapshot {
+	var discovered []Target
+	if a.cfg.Discover != nil {
+		discovered = a.cfg.Discover()
+	}
 	a.mu.Lock()
+	if discovered != nil {
+		a.discoverLocked(discovered)
+	}
 	silos := append([]*siloState(nil), a.silos...)
 	a.mu.Unlock()
 
@@ -251,6 +312,66 @@ func (a *Aggregator) scrape(ctx context.Context, s *siloState) (*telemetry.ObsSn
 	return &snap, nil
 }
 
+// EventsOnce scrapes every silo's flight-recorder ring (in-process
+// sources directly, remote silos via /events) and merges them into one
+// causally ordered, HLC-sorted timeline. Silos that fail to answer
+// simply contribute nothing — the merged timeline is the freshest
+// partial truth, same contract as PollOnce.
+func (a *Aggregator) EventsOnce(ctx context.Context) []journal.WireEvent {
+	var discovered []Target
+	if a.cfg.Discover != nil {
+		discovered = a.cfg.Discover()
+	}
+	a.mu.Lock()
+	if discovered != nil {
+		a.discoverLocked(discovered)
+	}
+	silos := append([]*siloState(nil), a.silos...)
+	a.mu.Unlock()
+
+	sets := make([][]journal.WireEvent, len(silos))
+	var wg sync.WaitGroup
+	for i, s := range silos {
+		if s.events != nil {
+			sets[i] = s.events()
+			continue
+		}
+		if s.target.URL == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, s *siloState) {
+			defer wg.Done()
+			sets[i], _ = a.scrapeEvents(ctx, s)
+		}(i, s)
+	}
+	wg.Wait()
+	return journal.Merge(sets...)
+}
+
+func (a *Aggregator) scrapeEvents(ctx context.Context, s *siloState) ([]journal.WireEvent, error) {
+	cctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+	url := strings.TrimSuffix(s.target.URL, "/") + "/events"
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("obs: %s returned %s", url, resp.Status)
+	}
+	var events []journal.WireEvent
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		return nil, fmt.Errorf("obs: decoding %s: %w", url, err)
+	}
+	return events, nil
+}
+
 // mergeLocked folds every silo's freshest snapshot into one cluster view.
 func (a *Aggregator) mergeLocked(now time.Time) ClusterSnapshot {
 	out := ClusterSnapshot{
@@ -264,6 +385,10 @@ func (a *Aggregator) mergeLocked(now time.Time) ClusterSnapshot {
 	var hotLists [][]metrics.TopKEntry
 	for _, s := range a.silos {
 		view := SiloView{Name: s.target.Name, URL: s.target.URL, Ok: s.err == "", Error: s.err}
+		dead := a.cfg.Dead != nil && a.cfg.Dead(s.target.Name)
+		if dead {
+			view.Dead = true
+		}
 		if s.last == nil {
 			view.Ok = false
 			out.Partial = true
@@ -272,7 +397,7 @@ func (a *Aggregator) mergeLocked(now time.Time) ClusterSnapshot {
 		}
 		age := now.Sub(s.lastAt)
 		view.AgeSeconds = age.Seconds()
-		if s.err != "" || age > a.cfg.StaleAfter {
+		if s.err != "" || dead || age > a.cfg.StaleAfter {
 			view.Ok = false
 			view.Stale = true
 			out.Partial = true
@@ -394,6 +519,25 @@ func (a *Aggregator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/cluster", a.serveCluster)
 	mux.HandleFunc("/cluster/history", a.serveHistory)
 	mux.HandleFunc("/cluster/prom", a.serveProm)
+	mux.HandleFunc("/cluster/events", a.serveEvents)
+}
+
+// serveEvents serves the cluster-merged flight-recorder timeline. It
+// scrapes on every request (event rings move faster than metric polls)
+// and honors the same filters as the per-silo /events endpoint.
+func (a *Aggregator) serveEvents(w http.ResponseWriter, r *http.Request) {
+	events := a.EventsOnce(r.Context())
+	q := r.URL.Query()
+	events = telemetry.FilterEvents(events, q.Get("actor"), q.Get("corr"), q.Get("kind"))
+	if nStr := q.Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(events)
 }
 
 func (a *Aggregator) serveCluster(w http.ResponseWriter, r *http.Request) {

@@ -58,9 +58,11 @@ type Config struct {
 	// there. Leave nil for non-deterministic strategies (random,
 	// prefer-local) — they have no stable target to diff against.
 	Strategy placement.Strategy
-	// Profiler, with Loads, enables overload shedding: when this silo's
-	// load exceeds OverloadRatio times the cluster mean, the profiler's
-	// hottest local actors move to the least-loaded member.
+	// Profiler, when set, steers overload shedding toward the silo's
+	// hottest activations (top-K CPU attribution). Optional: without it,
+	// shedding falls back to plain activation counts — any local actor
+	// is a candidate, which still relieves an overloaded silo, just
+	// without picking the most profitable movers first.
 	Profiler *telemetry.ActorProfiler
 	// Loads reports the latest known per-silo load (gossip's piggybacked
 	// Load values). Nil disables overload shedding.
@@ -172,7 +174,7 @@ func (rb *Rebalancer) Plan() []Move {
 		}
 	}
 
-	if rb.cfg.Loads != nil && rb.cfg.Profiler != nil && len(moves) < rb.cfg.MaxMoves {
+	if rb.cfg.Loads != nil && len(moves) < rb.cfg.MaxMoves {
 		moves = rb.planShed(silo, view, planned, moves)
 	}
 	rb.mPlanned.Add(int64(len(moves)))
@@ -180,8 +182,9 @@ func (rb *Rebalancer) Plan() []Move {
 }
 
 // planShed appends overload moves: when this silo's reported load runs
-// OverloadRatio above the cluster mean, the profiler's hottest local
-// actors go to the least-loaded member.
+// OverloadRatio above the cluster mean, local actors go to the
+// least-loaded member — the profiler's hottest first when one is
+// running, otherwise any local activations (plain-count shedding).
 func (rb *Rebalancer) planShed(silo *core.Silo, view []string, planned map[core.ID]bool, moves []Move) []Move {
 	loads := rb.cfg.Loads()
 	if len(loads) == 0 {
@@ -220,15 +223,32 @@ func (rb *Rebalancer) planShed(silo *core.Silo, view []string, planned map[core.
 	if budget < 1 {
 		budget = 1
 	}
-	for _, hot := range rb.cfg.Profiler.HotActors() {
+	if rb.cfg.Profiler != nil {
+		for _, hot := range rb.cfg.Profiler.HotActors() {
+			if budget == 0 || len(moves) >= rb.cfg.MaxMoves {
+				break
+			}
+			if hot.Label != rb.cfg.Silo {
+				continue // hosted elsewhere (or stale sketch residue)
+			}
+			id, err := core.ParseID(hot.Key)
+			if err != nil || planned[id] {
+				continue
+			}
+			planned[id] = true
+			moves = append(moves, Move{Actor: id, From: rb.cfg.Silo, To: coolest, Reason: "overload"})
+			budget--
+		}
+		return moves
+	}
+	// No profiler: shed by plain activation count. Every local actor is
+	// equally anonymous, so take them in ActiveIDs' stable order — the
+	// next round re-measures and sheds again if the silo is still hot.
+	for _, id := range silo.ActiveIDs() {
 		if budget == 0 || len(moves) >= rb.cfg.MaxMoves {
 			break
 		}
-		if hot.Label != rb.cfg.Silo {
-			continue // hosted elsewhere (or stale sketch residue)
-		}
-		id, err := core.ParseID(hot.Key)
-		if err != nil || planned[id] {
+		if planned[id] {
 			continue
 		}
 		planned[id] = true

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aodb/internal/clock"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/transport"
@@ -71,6 +72,13 @@ type Config struct {
 	Clock clock.Clock
 	// Metrics receives replication instrumentation; nil allocates one.
 	Metrics *metrics.Registry
+	// Journal, when enabled, records quorum outcomes, hint activity, and
+	// ring changes in the cluster flight recorder, and stamps replica
+	// RPCs with HLC timestamps. Nil or disabled costs one nil-or-atomic
+	// check per operation. Successful plain reads are not recorded (a
+	// read-heavy workload would wash the ring out); reads that needed a
+	// stand-in fallback or a repair are.
+	Journal *journal.Journal
 }
 
 // quorumErr is the sentinel type behind ErrQuorum. It self-classifies as
@@ -244,6 +252,10 @@ func (c *Coordinator) UpdateRing(r *Ring) {
 	c.oldUntil = c.cfg.Clock.Now().Add(c.cfg.RingTransition)
 	c.cfg.Metrics.Counter("replication.ring.changes").Inc()
 	c.cfg.Metrics.Gauge("replication.ring.size").Set(int64(r.Size()))
+	if c.cfg.Journal.Enabled() {
+		c.cfg.Journal.Record(journal.RingChange, "", 0,
+			fmt.Sprintf("members=%v (transition window open)", r.Members()))
+	}
 }
 
 // SettleRing ends the transition window immediately — the caller knows
@@ -332,13 +344,17 @@ func (c *Coordinator) call(ctx context.Context, silo string, payload any) (any, 
 	}
 	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
 	defer cancel()
-	return c.cfg.Transport.Call(cctx, silo, transport.Request{
+	req := transport.Request{
 		TargetKind: TargetKind,
 		TargetKey:  silo,
 		Method:     "call",
 		Payload:    payload,
 		Sender:     c.cfg.Sender,
-	})
+	}
+	if c.cfg.Journal.Enabled() {
+		req.HLC = uint64(c.cfg.Journal.Now())
+	}
+	return c.cfg.Transport.Call(cctx, silo, req)
 }
 
 // serveLocal dispatches payload against an in-process store without
@@ -467,6 +483,13 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 	standins := pref[n:]
 	nextStandin := 0
 
+	// One correlation id ties this attempt's outcome to every hint it
+	// records, so a merged timeline shows the sloppy-quorum story whole.
+	var corr uint64
+	if c.cfg.Journal.Enabled() {
+		corr = c.cfg.Journal.NewCorr()
+	}
+
 	ackCur, ackOld := 0, 0
 	var firstErr error
 	var attemptHints []uint64
@@ -500,6 +523,10 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 				}
 			case Stale, Conflict:
 				c.dropHints(attemptHints)
+				if corr != 0 {
+					c.cfg.Journal.Record(journal.QuorumWriteFail, key, corr,
+						fmt.Sprintf("fenced by %s at %s", r.out, env.Version))
+				}
 				return errFenced(key, env.Version, r.out)
 			}
 			continue
@@ -509,9 +536,16 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 		}
 		// Sloppy quorum: hand the write to the next healthy stand-in and
 		// leave a durable hint pointing back at the missed home.
-		c.hintAndHandoff(ctx, r.t, key, enc, standins, &nextStandin, &ackCur, &ackOld, &attemptHints)
+		c.hintAndHandoff(ctx, r.t, key, enc, standins, &nextStandin, &ackCur, &ackOld, &attemptHints, corr)
 	}
 	if ackCur >= w && (old == nil || ackOld >= wOld) {
+		if corr != 0 {
+			detail := fmt.Sprintf("acks=%d/%d at %s", ackCur, w, env.Version)
+			if len(attemptHints) > 0 {
+				detail += fmt.Sprintf(" (sloppy, %d hinted)", len(attemptHints))
+			}
+			c.cfg.Journal.Record(journal.QuorumWrite, key, corr, detail)
+		}
 		return nil
 	}
 	// The write failed: the caller gets no ack, so this attempt's hints
@@ -524,6 +558,13 @@ func (c *Coordinator) writeQuorum(ctx context.Context, key string, env Envelope)
 	acked := ackCur
 	if old != nil && ackOld < acked {
 		acked = ackOld
+	}
+	if corr != 0 {
+		detail := fmt.Sprintf("acks=%d/%d at %s", acked, w, env.Version)
+		if firstErr != nil {
+			detail += ": " + firstErr.Error()
+		}
+		c.cfg.Journal.Record(journal.QuorumWriteFail, key, corr, detail)
 	}
 	if firstErr != nil {
 		return fmt.Errorf("%w: %s got %d/%d acks: %v", ErrQuorum, key, acked, w, firstErr)
@@ -550,13 +591,16 @@ func (c *Coordinator) dropHints(ids []uint64) {
 // credited to whichever ring(s)' home set the missed home was in. The
 // hint's id is appended to attemptHints so the caller can retire it if
 // the overall write fails its quorum.
-func (c *Coordinator) hintAndHandoff(ctx context.Context, home writeTarget, key string, enc []byte, standins []string, nextStandin *int, ackCur, ackOld *int, attemptHints *[]uint64) {
+func (c *Coordinator) hintAndHandoff(ctx context.Context, home writeTarget, key string, enc []byte, standins []string, nextStandin *int, ackCur, ackOld *int, attemptHints *[]uint64, corr uint64) {
 	hinted := false
 	if c.hints != nil {
 		if id, err := c.hints.Add(Hint{Home: home.silo, Key: key, Env: enc}); err == nil {
 			hinted = true
 			*attemptHints = append(*attemptHints, id)
 			c.mHinted.Inc()
+			if corr != 0 {
+				c.cfg.Journal.Record(journal.HintRecorded, key, corr, "home="+home.silo)
+			}
 		}
 	}
 	if !hinted {
@@ -647,6 +691,7 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 	for _, t := range targets {
 		queried[t.silo] = true
 	}
+	fellBack := false
 	for i := n; (okCur < rq || okOld < rOld) && i < len(pref); i++ {
 		s := pref[i]
 		if queried[s] || !c.alive(s) {
@@ -661,12 +706,20 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 		}
 		okCur++
 		okOld++
+		fellBack = true
 		oks = append(oks, res{t: writeTarget{silo: s}, env: env, found: found})
 	}
 	if okCur < rq || okOld < rOld {
 		got := okCur
 		if old != nil && okOld < got {
 			got = okOld
+		}
+		if c.cfg.Journal.Enabled() {
+			detail := fmt.Sprintf("reads=%d/%d", got, rq)
+			if firstErr != nil {
+				detail += ": " + firstErr.Error()
+			}
+			c.cfg.Journal.Record(journal.QuorumReadFail, key, c.cfg.Journal.NewCorr(), detail)
 		}
 		if firstErr != nil {
 			return Envelope{}, false, fmt.Errorf("%w: %s got %d/%d reads: %v", ErrQuorum, key, got, rq, firstErr)
@@ -690,13 +743,22 @@ func (c *Coordinator) readQuorum(ctx context.Context, key string) (Envelope, boo
 	// something older (or nothing). Best-effort and synchronous — the
 	// repairs hit at most R-1 replicas that just proved reachable.
 	enc := win.Encode()
+	repaired := 0
 	for _, r := range oks {
 		if r.found && !newerEnv(win, r.env) {
 			continue
 		}
 		if out, err := c.applyTo(ctx, r.t.silo, key, enc); err == nil && out == Applied {
 			c.mReadRepair.Inc()
+			repaired++
 		}
+	}
+	// Only the interesting reads make the journal — ones that leaned on a
+	// stand-in or pushed a repair. Plain healthy reads would wash the ring
+	// out under a read-heavy workload.
+	if (fellBack || repaired > 0) && c.cfg.Journal.Enabled() {
+		c.cfg.Journal.Record(journal.QuorumRead, key, c.cfg.Journal.NewCorr(),
+			fmt.Sprintf("standin-fallback=%v repaired=%d at %s", fellBack, repaired, win.Version))
 	}
 	return win, true, nil
 }
@@ -814,6 +876,9 @@ func (c *Coordinator) ReplayHints(ctx context.Context) (delivered, remaining int
 			}
 			delivered++
 			c.mReplayed.Inc()
+			if c.cfg.Journal.Enabled() {
+				c.cfg.Journal.Record(journal.HintReplayed, h.Key, 0, "home="+h.Home)
+			}
 		}
 	}
 	return delivered, c.hints.Pending()

@@ -10,6 +10,7 @@ import (
 
 	"aodb/internal/clock"
 	"aodb/internal/codec"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/transport"
@@ -382,10 +383,19 @@ var errBadRPC = errors.New("replication: bad rpc")
 type Service struct {
 	mu     sync.RWMutex
 	stores map[string]*Store
+	// journal, when set, merges inbound HLC stamps before dispatch (see
+	// UseJournal).
+	journal *journal.Journal
 }
 
 // NewService returns an empty service; register stores with Host.
 func NewService() *Service { return &Service{stores: make(map[string]*Store)} }
+
+// UseJournal merges each inbound RPC's HLC stamp into jr's clock before
+// dispatch, so events this replica records after applying a write sort
+// causally after the coordinator's quorum-write event in a merged
+// timeline. Set once at boot, before Handle runs.
+func (sv *Service) UseJournal(jr *journal.Journal) { sv.journal = jr }
 
 // Host serves silo's replica store. Re-hosting a silo replaces its
 // store (a wiped-and-rebuilt replica hot-swaps itself back in).
@@ -405,6 +415,9 @@ func (sv *Service) Store(silo string) *Store {
 // Handle dispatches one replication RPC addressed to silo. It has the
 // core.ServiceHandler shape and is registered under TargetKind.
 func (sv *Service) Handle(ctx context.Context, silo string, req transport.Request) (any, error) {
+	if sv.journal.Enabled() && req.HLC != 0 {
+		sv.journal.Observe(clock.HLC(req.HLC))
+	}
 	st := sv.Store(silo)
 	if st == nil {
 		return nil, fmt.Errorf("%w: no replica store on silo %q", errBadRPC, silo)

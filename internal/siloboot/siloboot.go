@@ -10,6 +10,7 @@ package siloboot
 import (
 	"context"
 	"errors"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"aodb/internal/cluster"
 	"aodb/internal/core"
 	"aodb/internal/gossip"
+	"aodb/internal/journal"
 	"aodb/internal/kvstore"
 	"aodb/internal/metrics"
 	"aodb/internal/placement"
@@ -99,6 +101,18 @@ type Options struct {
 	Profile  bool
 	ProfileK int
 
+	// Journal, when set and enabled, is the cluster flight recorder: the
+	// node stamps outgoing RPCs with HLC timestamps and records
+	// membership transitions, migration phases, quorum outcomes, breaker
+	// trips, slow turns, and panics into its ring. The command constructs
+	// it (journal.New + SetEnabled) so it can also hook sources siloboot
+	// never sees, like the kvstore's WAL flush stalls.
+	Journal *journal.Journal
+	// ObsAddr is the advertised observability endpoint (host:port of the
+	// introspection listener), gossiped to peers so aggregators discover
+	// scrape targets from the membership view alone.
+	ObsAddr string
+
 	// Metrics overrides the registry (nil allocates one shared by the
 	// runtime and the transport).
 	Metrics *metrics.Registry
@@ -113,6 +127,7 @@ type Node struct {
 	Breaker  *transport.Breaker // nil unless Options.Breaker
 	Tracer   *telemetry.Tracer  // nil unless Options.Trace
 	Profiler *telemetry.ActorProfiler
+	Journal  *journal.Journal // nil unless Options.Journal
 	Runtime  *core.Runtime
 	// Gossip and Rebalancer are set by their Options flags; both start on
 	// JoinCluster and stop in Drain.
@@ -140,6 +155,16 @@ func Start(opts Options) (*Node, error) {
 	if topts.Metrics == nil {
 		topts.Metrics = reg
 	}
+	if jr := opts.Journal; jr != nil && topts.StampHLC == nil {
+		// Frames leaving this process carry a causal timestamp; local
+		// deliveries skip the mint (they share the journal's clock).
+		topts.StampHLC = func() uint64 {
+			if jr.Enabled() {
+				return uint64(jr.Now())
+			}
+			return 0
+		}
+	}
 	tcp, err := transport.NewTCPWithOptions(opts.Name, opts.Listen, topts)
 	if err != nil {
 		return nil, err
@@ -150,7 +175,16 @@ func Start(opts Options) (*Node, error) {
 	var tr transport.Transport = tcp
 	var breaker *transport.Breaker
 	if opts.Breaker {
-		breaker = transport.NewBreaker(tcp, transport.BreakerOptions{})
+		bopts := transport.BreakerOptions{}
+		if jr := opts.Journal; jr != nil {
+			bopts.OnTrip = func(node string, failures int) {
+				if jr.Enabled() {
+					jr.Record(journal.BreakerTrip, "", 0,
+						"node="+node+" failures="+strconv.Itoa(failures))
+				}
+			}
+		}
+		breaker = transport.NewBreaker(tcp, bopts)
 		tr = breaker
 	}
 
@@ -185,6 +219,7 @@ func Start(opts Options) (*Node, error) {
 		agent, err = gossip.New(gossip.Config{
 			Name:      name,
 			Addr:      tcp.Addr(),
+			ObsAddr:   opts.ObsAddr,
 			Transport: tr,
 			Seeds:     SplitPairs(opts.Seeds),
 			Observer:  !memberOf(name, opts.Silos),
@@ -233,6 +268,7 @@ func Start(opts Options) (*Node, error) {
 			return nil, err
 		}
 		svc = replication.NewService()
+		svc.UseJournal(opts.Journal)
 		svc.Host(opts.Name, rstore)
 		coord, err = replication.NewCoordinator(replication.Config{
 			Ring:      ring,
@@ -244,6 +280,7 @@ func Start(opts Options) (*Node, error) {
 			Local:     map[string]*replication.Store{opts.Name: rstore},
 			HintDir:   opts.HintDir,
 			Metrics:   reg,
+			Journal:   opts.Journal,
 		})
 		if err != nil {
 			return nil, err
@@ -265,6 +302,7 @@ func Start(opts Options) (*Node, error) {
 		View:      view,
 		Tracer:    tracer,
 		Profiler:  profiler,
+		Journal:   opts.Journal,
 		Metrics:   reg,
 	}
 	if coord != nil {
@@ -308,6 +346,19 @@ func Start(opts Options) (*Node, error) {
 		// a transition window), and the rebalancer re-plans immediately.
 		var ringMu sync.Mutex
 		agent.Subscribe(func(e cluster.Event) {
+			if jr := opts.Journal; jr.Enabled() {
+				switch e.Status {
+				case systemstore.StatusActive:
+					jr.Record(journal.MemberJoin, "", 0, "member="+e.Silo)
+				case systemstore.StatusSuspect:
+					jr.Record(journal.MemberSuspect, "", 0, "member="+e.Silo)
+				case systemstore.StatusDead:
+					// MemberDead is anomalous: recording it also freezes a
+					// ring capture, so the survivors persist the window
+					// around a crash even though the crashed silo cannot.
+					jr.Record(journal.MemberDead, "", 0, "member="+e.Silo)
+				}
+			}
 			if e.Status == systemstore.StatusDead {
 				rt.Directory().EvictSilo(e.Silo)
 			}
@@ -368,6 +419,7 @@ func Start(opts Options) (*Node, error) {
 		Breaker:         breaker,
 		Tracer:          tracer,
 		Profiler:        profiler,
+		Journal:         opts.Journal,
 		Runtime:         rt,
 		Gossip:          agent,
 		Rebalancer:      rebalancer,
@@ -439,11 +491,28 @@ func (n *Node) Introspection(pprof bool) *telemetry.Introspection {
 		Tracer:   n.Tracer,
 		Runtime:  n.Runtime,
 		Profiler: n.Profiler,
+		Journal:  n.Journal,
 		Name:     n.Name,
 		Pprof:    pprof,
 	}
 	if n.Breaker != nil {
 		in.Breakers = n.Breaker.States
+	}
+	if ag := n.Gossip; ag != nil {
+		// /members lets an observer process (shmtop, shmtrace) discover
+		// every silo's scrape endpoint and liveness from any one seed.
+		in.Members = func() []telemetry.MemberInfo {
+			members := ag.Members()
+			out := make([]telemetry.MemberInfo, 0, len(members))
+			for _, m := range members {
+				out = append(out, telemetry.MemberInfo{
+					Name:    m.Name,
+					ObsAddr: m.ObsAddr,
+					State:   m.State.String(),
+				})
+			}
+			return out
+		}
 	}
 	return in
 }

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"aodb/internal/journal"
 	"aodb/internal/metrics"
 )
 
@@ -50,6 +51,16 @@ type RuntimeSource interface {
 	IntrospectionSnapshot() RuntimeSnapshot
 }
 
+// MemberInfo is one row of the membership view served at /members: the
+// member's name, its advertised observability endpoint (empty if it did
+// not advertise one), and its SWIM state ("alive", "suspect", "dead",
+// "left").
+type MemberInfo struct {
+	Name    string `json:"name"`
+	ObsAddr string `json:"obs,omitempty"`
+	State   string `json:"state"`
+}
+
 // Introspection serves the runtime-observability HTTP surface:
 //
 //	/metrics  Prometheus text format: registry counters/gauges/histogram
@@ -70,9 +81,19 @@ type Introspection struct {
 	// Profiler contributes per-actor hot-spot accounting to /obs and
 	// /metrics.
 	Profiler *ActorProfiler
+	// Journal serves the flight-recorder ring at /events (nil or disabled
+	// serves an empty timeline). Filters: ?n= newest-N, ?actor=, ?corr=
+	// (16-hex-digit id), ?kind= (wire kind name).
+	Journal *journal.Journal
 	// Breakers supplies circuit-breaker states (transport.Breaker.States
 	// fits; a func field keeps telemetry free of a transport dependency).
 	Breakers func() []BreakerState
+	// Members, when set, serves the live membership view at /members —
+	// enough for an observer process (shmtop, shmtrace) to discover every
+	// silo's scrape endpoint and dead/alive status from any one seed silo,
+	// without joining gossip itself. A func field keeps telemetry free of
+	// a gossip dependency.
+	Members func() []MemberInfo
 	// Name tags /obs snapshots with the process's silo name so aggregated
 	// views can attribute them.
 	Name string
@@ -92,6 +113,8 @@ func (in *Introspection) Handler() http.Handler {
 	mux.HandleFunc("/trace", in.serveTrace)
 	mux.HandleFunc("/actors", in.serveActors)
 	mux.HandleFunc("/obs", in.serveObs)
+	mux.HandleFunc("/events", in.serveEvents)
+	mux.HandleFunc("/members", in.serveMembers)
 	if in.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -328,6 +351,57 @@ func (in *Introspection) serveTrace(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, spans)
+}
+
+// serveEvents serves the flight-recorder ring as a JSON array of
+// journal.WireEvent, oldest first, with optional filters.
+func (in *Introspection) serveEvents(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if in.Journal == nil {
+		_, _ = w.Write([]byte("[]\n"))
+		return
+	}
+	events := in.Journal.WireSnapshot()
+	q := r.URL.Query()
+	events = FilterEvents(events, q.Get("actor"), q.Get("corr"), q.Get("kind"))
+	if nStr := q.Get("n"); nStr != "" {
+		if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(events) {
+			events = events[len(events)-n:] // newest events live at the end
+		}
+	}
+	writeJSON(w, events)
+}
+
+func (in *Introspection) serveMembers(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if in.Members == nil {
+		_, _ = w.Write([]byte("[]\n"))
+		return
+	}
+	writeJSON(w, in.Members())
+}
+
+// FilterEvents applies the /events query filters (empty selectors match
+// everything). Shared with shmtrace, which filters merged timelines with
+// the same semantics.
+func FilterEvents(events []journal.WireEvent, actor, corr, kind string) []journal.WireEvent {
+	if actor == "" && corr == "" && kind == "" {
+		return events
+	}
+	out := events[:0:0]
+	for _, e := range events {
+		if actor != "" && e.Actor != actor {
+			continue
+		}
+		if corr != "" && e.Corr != corr {
+			continue
+		}
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 func (in *Introspection) serveActors(w http.ResponseWriter, _ *http.Request) {

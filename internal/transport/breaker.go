@@ -20,6 +20,10 @@ type BreakerOptions struct {
 	Cooldown time.Duration
 	// Clock defaults to the real clock.
 	Clock clock.Clock
+	// OnTrip, when set, is called (outside the breaker lock) each time a
+	// node's circuit transitions to open, with the failure streak that
+	// tripped it. The flight journal hooks here; nil costs nothing.
+	OnTrip func(node string, failures int)
 }
 
 // Breaker state machine per target node.
@@ -120,11 +124,12 @@ func (b *Breaker) allow(node string) error {
 // record updates node's breaker with a call outcome.
 func (b *Breaker) record(node string, err error) {
 	unreachable := err != nil && IsUnreachable(err)
+	tripped := 0
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	n, ok := b.nodes[node]
 	if !ok {
 		if !unreachable {
+			b.mu.Unlock()
 			return // stay closed, allocate nothing on the happy path
 		}
 		n = &breakerNode{}
@@ -136,6 +141,7 @@ func (b *Breaker) record(node string, err error) {
 		n.state = stateClosed
 		n.failures = 0
 		n.probing = false
+		b.mu.Unlock()
 		return
 	}
 	n.failures++
@@ -144,9 +150,14 @@ func (b *Breaker) record(node string, err error) {
 		if n.state != stateOpen {
 			b.trips++
 			n.trips++
+			tripped = n.failures
 		}
 		n.state = stateOpen
 		n.openedAt = b.opts.Clock.Now()
+	}
+	b.mu.Unlock()
+	if tripped > 0 && b.opts.OnTrip != nil {
+		b.opts.OnTrip(node, tripped)
 	}
 }
 

@@ -54,6 +54,13 @@ type TCPOptions struct {
 	// latency, send-queue depth, lost replies, evictions); nil allocates
 	// a private registry.
 	Metrics *metrics.Registry
+	// StampHLC, when set, mints a hybrid-logical-clock stamp for frames
+	// leaving this process without one (req.HLC == 0). Stamping at the
+	// wire boundary keeps in-process deliveries free of clock work —
+	// their events already share one HLC source — while every frame that
+	// actually crosses a machine carries a causal timestamp. Return 0 to
+	// skip stamping (recorder disabled).
+	StampHLC func() uint64
 }
 
 func (o *TCPOptions) fill() {
@@ -357,6 +364,7 @@ func (t *TCP) dispatch(w *frameWriter, f *codec.Frame) {
 			SpanID:  f.ParentSpan,
 			Sampled: f.TraceSampled,
 		},
+		HLC: f.HLC,
 	}
 	id, kind := f.ID, f.Kind
 	// The request header is done: req holds its own copies of the payload
@@ -555,6 +563,7 @@ func requestFrame(id uint64, kind codec.FrameKind, req Request) *codec.Frame {
 	f.TraceID = req.Trace.TraceID
 	f.ParentSpan = req.Trace.SpanID
 	f.TraceSampled = req.Trace.Sampled
+	f.HLC = req.HLC
 	f.Payload = req.Payload
 	return f
 }
@@ -572,6 +581,9 @@ func (t *TCP) Call(ctx context.Context, node string, req Request) (any, error) {
 	c, err := t.conn(node, req.TargetKey)
 	if err != nil {
 		return nil, err
+	}
+	if req.HLC == 0 && t.opts.StampHLC != nil {
+		req.HLC = t.opts.StampHLC()
 	}
 	// Stay counted for the whole round trip (not just the write): another
 	// caller arriving while we await our response is exactly the signal
@@ -661,6 +673,9 @@ func (t *TCP) Send(ctx context.Context, node string, req Request) error {
 	c, err := t.conn(node, req.TargetKey)
 	if err != nil {
 		return err
+	}
+	if req.HLC == 0 && t.opts.StampHLC != nil {
+		req.HLC = t.opts.StampHLC()
 	}
 	c.active.Add(1)
 	defer c.active.Add(-1)

@@ -33,6 +33,10 @@ type Request struct {
 	// request is not sampled. Both transports carry it to the target
 	// silo so turn spans parent correctly across the wire.
 	Trace telemetry.SpanContext
+	// HLC is the sender's hybrid-logical-clock stamp (zero when the
+	// sender keeps no flight journal). Receivers merge it into their own
+	// clock so events on both sides of the hop get a causal order.
+	HLC uint64
 	// SizeHint is the approximate encoded size in bytes used by the
 	// network model; zero means a small control message.
 	SizeHint int

@@ -112,6 +112,14 @@ type Options struct {
 	// wal.flush.latency histograms (records per batch, fsync-inclusive
 	// flush time).
 	Metrics *metrics.Registry
+	// FlushStallAfter, when positive together with OnFlushStall, flags
+	// any group flush (write+fsync) that takes at least this long — the
+	// signal a stalling disk gives before it fails outright.
+	FlushStallAfter time.Duration
+	// OnFlushStall receives stalled-flush notifications with the flush's
+	// duration and record count. Called synchronously after the flush's
+	// waiters are released, off every lock; keep it cheap.
+	OnFlushStall func(d time.Duration, records int)
 }
 
 // batch is one group-commit unit: records staged by concurrent appenders,
@@ -597,14 +605,18 @@ func (l *Log) flushBatch(b *batch) bool {
 			l.mu.Unlock()
 		}
 	}
+	elapsed := time.Since(start)
 	if l.mFlushes != nil {
 		l.mFlushes.Inc()
 		l.mFlushRecords.Record(int64(records))
-		l.mFlushLatency.RecordDuration(time.Since(start))
+		l.mFlushLatency.RecordDuration(elapsed)
 	}
 	for _, q := range group {
 		q.err = err
 		close(q.done)
+	}
+	if l.opts.OnFlushStall != nil && l.opts.FlushStallAfter > 0 && elapsed >= l.opts.FlushStallAfter {
+		l.opts.OnFlushStall(elapsed, records)
 	}
 	return true
 }
